@@ -1,0 +1,187 @@
+//! Swift-style weighted congestion control (WCC).
+//!
+//! Swift (SIGCOMM '20) is a delay-based AIMD: additive increase while the
+//! measured RTT sits below a target delay, multiplicative decrease scaled
+//! by how far the RTT overshoots. Seawall-style *weighted* CC multiplies
+//! the additive-increase term by the source's weight, which yields
+//! steady-state shares proportional to weights under a shared bottleneck.
+//!
+//! This is the paper's `WCC` building block ("We choose Swift, a
+//! delay-based CC recently proposed for DCN, as the basis of WCC").
+
+use netsim::Time;
+
+/// Swift parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SwiftCfg {
+    /// Additive increase in MTUs per RTT per unit weight.
+    pub ai_mtus: f64,
+    /// Multiplicative-decrease sensitivity β.
+    pub beta: f64,
+    /// Maximum fractional decrease per RTT.
+    pub max_mdf: f64,
+    /// Lower bound of the window in MTUs.
+    pub min_cwnd_mtus: f64,
+    /// Target delay as a multiple of the flow's base RTT (Swift's fabric
+    /// target scales with hops; 1.5× base is the paper's Fig-5 flowlet
+    /// threshold scale).
+    pub target_scale: f64,
+}
+
+impl Default for SwiftCfg {
+    fn default() -> Self {
+        Self {
+            ai_mtus: 1.0,
+            beta: 0.8,
+            max_mdf: 0.5,
+            min_cwnd_mtus: 1.0,
+            target_scale: 1.5,
+        }
+    }
+}
+
+/// Per-pair Swift state.
+#[derive(Debug, Clone, Copy)]
+pub struct SwiftState {
+    /// Congestion window in bytes.
+    pub cwnd: f64,
+    last_decrease: Time,
+    base_rtt: Time,
+}
+
+impl SwiftState {
+    /// Initialise with one MTU of window.
+    pub fn new(base_rtt: Time, mtu: u32) -> Self {
+        Self {
+            cwnd: mtu as f64,
+            last_decrease: 0,
+            base_rtt,
+        }
+    }
+
+    /// Initialise with an explicit window (datacenter transports start at
+    /// the wire-speed BDP — the greedy start the paper's Case-1 blames
+    /// for unbounded incast queueing).
+    pub fn with_initial(base_rtt: Time, cwnd: f64) -> Self {
+        Self {
+            cwnd,
+            last_decrease: 0,
+            base_rtt,
+        }
+    }
+
+    /// The delay target in nanoseconds.
+    pub fn target(&self, cfg: &SwiftCfg) -> Time {
+        (self.base_rtt as f64 * cfg.target_scale) as Time
+    }
+
+    /// Process one RTT sample from an ACK.
+    ///
+    /// `weight` is the pair's bandwidth-token weight, `mtu` the fabric
+    /// MTU, `max_cwnd` an upper clamp (e.g. NIC BDP).
+    pub fn on_ack(
+        &mut self,
+        now: Time,
+        rtt: Time,
+        weight: f64,
+        cfg: &SwiftCfg,
+        mtu: u32,
+        max_cwnd: f64,
+    ) {
+        let target = self.target(cfg);
+        let mtu_f = mtu as f64;
+        if rtt < target {
+            // Per-ACK share of "weight·ai MTUs per RTT".
+            self.cwnd += weight * cfg.ai_mtus * mtu_f * (mtu_f / self.cwnd);
+        } else if now.saturating_sub(self.last_decrease) >= rtt {
+            let over = (rtt - target) as f64 / rtt as f64;
+            let factor = (1.0 - cfg.beta * over).max(1.0 - cfg.max_mdf);
+            self.cwnd *= factor;
+            self.last_decrease = now;
+        }
+        self.cwnd = self.cwnd.clamp(cfg.min_cwnd_mtus * mtu_f, max_cwnd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::US;
+
+    const MTU: u32 = 1500;
+
+    #[test]
+    fn grows_below_target() {
+        let cfg = SwiftCfg::default();
+        let mut s = SwiftState::new(24 * US, MTU);
+        let start = s.cwnd;
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 24 * US;
+            s.on_ack(now, 20 * US, 1.0, &cfg, MTU, 1e9);
+        }
+        assert!(s.cwnd > start * 10.0, "cwnd {}", s.cwnd);
+    }
+
+    #[test]
+    fn shrinks_above_target_once_per_rtt() {
+        let cfg = SwiftCfg::default();
+        let mut s = SwiftState::new(24 * US, MTU);
+        s.cwnd = 100_000.0;
+        // Two congested ACKs back-to-back: only one decrease applies.
+        s.on_ack(100 * US, 100 * US, 1.0, &cfg, MTU, 1e9);
+        let after_first = s.cwnd;
+        assert!(after_first < 100_000.0);
+        s.on_ack(101 * US, 100 * US, 1.0, &cfg, MTU, 1e9);
+        assert_eq!(s.cwnd, after_first);
+        // After an RTT has passed, it may decrease again.
+        s.on_ack(300 * US, 100 * US, 1.0, &cfg, MTU, 1e9);
+        assert!(s.cwnd < after_first);
+    }
+
+    #[test]
+    fn decrease_bounded_by_max_mdf() {
+        let cfg = SwiftCfg::default();
+        let mut s = SwiftState::new(24 * US, MTU);
+        s.cwnd = 100_000.0;
+        // Enormous RTT: decrease clamps at 50 %.
+        s.on_ack(10_000 * US, 5_000 * US, 1.0, &cfg, MTU, 1e9);
+        assert!((s.cwnd - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn floor_and_ceiling() {
+        let cfg = SwiftCfg::default();
+        let mut s = SwiftState::new(24 * US, MTU);
+        s.cwnd = 2000.0;
+        for i in 0..100 {
+            s.on_ack((i + 1) * 100 * US, 100 * US, 1.0, &cfg, MTU, 1e9);
+        }
+        assert_eq!(s.cwnd, cfg.min_cwnd_mtus * MTU as f64);
+        for i in 0..10_000u64 {
+            s.on_ack(i * 24 * US + 2_000_000_000, 10 * US, 1.0, &cfg, MTU, 50_000.0);
+        }
+        assert_eq!(s.cwnd, 50_000.0);
+    }
+
+    #[test]
+    fn weighted_growth_is_proportional() {
+        let cfg = SwiftCfg::default();
+        // Measure growth over a fixed number of uncongested ACKs from the
+        // same starting window.
+        let grow = |weight: f64| {
+            let mut s = SwiftState::new(24 * US, MTU);
+            s.cwnd = 30_000.0;
+            let mut now = 0;
+            for _ in 0..20 {
+                now += 24 * US;
+                s.on_ack(now, 20 * US, weight, &cfg, MTU, 1e9);
+            }
+            s.cwnd - 30_000.0
+        };
+        let g1 = grow(1.0);
+        let g4 = grow(4.0);
+        let ratio = g4 / g1;
+        assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Micro-benchmarks of the data-plane primitives.
+//!
+//! These bound the per-packet / per-probe budget of the software (SoC)
+//! μFAB-E and the simulated μFAB-C: a Tofino pipeline stage runs at
+//! ~1 packet/ns, the DPDK SoC edge at ~10 M probes/sec — the Rust
+//! implementations must stay well under a microsecond per operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use telemetry::wire::{WireHop, WireProbe};
+use telemetry::{CountingBloom, RateEstimator, TwoBankBloom};
+use ufab::edge::wfq::WfqScheduler;
+use ufab::theory::{weighted_max_min, TheoryFlow};
+use ufab::tokens::{token_admission, token_assignment, PairTokens};
+
+fn bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("two_bank_insert", |b| {
+        let mut bf = TwoBankBloom::new(20 * 1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            bf.insert(black_box(k))
+        });
+    });
+    g.bench_function("two_bank_query", |b| {
+        let mut bf = TwoBankBloom::new(20 * 1024);
+        for k in 0..20_000u64 {
+            bf.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(7);
+            bf.contains(black_box(k % 40_000))
+        });
+    });
+    g.bench_function("counting_insert_remove", |b| {
+        let mut cb = CountingBloom::new(20 * 1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            cb.insert(black_box(k));
+            cb.remove(black_box(k));
+        });
+    });
+    g.finish();
+}
+
+fn wire(c: &mut Criterion) {
+    let probe = WireProbe {
+        ptype: 1,
+        phi: 12345,
+        hops: (0..5)
+            .map(|i| WireHop {
+                w_units: 100 * i,
+                phi: 20 + i,
+                tx_units: 4000 + i,
+                q_units: 12 * i,
+                speed: 1,
+            })
+            .collect(),
+    };
+    let encoded = probe.encode();
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("encode_5hop", |b| b.iter(|| black_box(&probe).encode()));
+    g.bench_function("decode_5hop", |b| {
+        b.iter(|| WireProbe::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn meters(c: &mut Criterion) {
+    c.bench_function("rate_estimator_on_bytes", |b| {
+        let mut est = RateEstimator::new(100_000);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1_000;
+            est.on_bytes(black_box(now), black_box(1500));
+        });
+    });
+}
+
+fn wfq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wfq");
+    for n_tenants in [8usize, 64] {
+        g.bench_function(format!("pick_{n_tenants}_tenants"), |b| {
+            let mut s = WfqScheduler::new();
+            for t in 0..n_tenants {
+                s.set_tenant(netsim::TenantId(t as u32), (1 << (t % 8)) as f64);
+                for p in 0..4 {
+                    s.add_pair(
+                        netsim::TenantId(t as u32),
+                        netsim::PairId((t * 4 + p) as u32),
+                    );
+                }
+            }
+            b.iter(|| s.pick(|_| Some(1500)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn tokens(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_tokens");
+    for n in [8usize, 64, 512] {
+        g.bench_function(format!("assignment_{n}_pairs"), |b| {
+            b.iter(|| {
+                let mut pairs: Vec<PairTokens> = (0..n)
+                    .map(|i| PairTokens::new((i as f64) * 1e8, f64::INFINITY))
+                    .collect();
+                token_assignment(black_box(64.0), 500e6, &mut pairs);
+                pairs
+            });
+        });
+        g.bench_function(format!("admission_{n}_pairs"), |b| {
+            let demands: Vec<f64> = (0..n).map(|i| 1.0 + (i % 16) as f64).collect();
+            b.iter(|| token_admission(black_box(64.0), black_box(&demands)));
+        });
+    }
+    g.finish();
+}
+
+fn theory(c: &mut Criterion) {
+    c.bench_function("weighted_max_min_64x16", |b| {
+        let caps: Vec<f64> = (0..16).map(|i| 10e9 + i as f64 * 1e9).collect();
+        let flows: Vec<TheoryFlow> = (0..64)
+            .map(|i| TheoryFlow::elastic(1.0 + (i % 8) as f64, vec![i % 16, (i * 7) % 16]))
+            .collect();
+        b.iter(|| weighted_max_min(black_box(&caps), black_box(&flows)));
+    });
+}
+
+criterion_group!(benches, bloom, wire, meters, wfq, tokens, theory);
+criterion_main!(benches);

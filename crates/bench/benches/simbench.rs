@@ -1,0 +1,52 @@
+//! End-to-end simulator throughput benchmarks.
+//!
+//! Measures wall-clock cost per simulated millisecond of a contended
+//! fabric under each system — the number that bounds how large the Fig 17
+//! experiments can go — plus the cost of topology path enumeration (paid
+//! per pair activation).
+
+use bench::scenario::dumbbell_contention;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use experiments::harness::SystemKind;
+use netsim::MS;
+use topology::{three_tier, ThreeTierCfg};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_ms");
+    g.sample_size(10);
+    for system in [SystemKind::Ufab, SystemKind::Pwc, SystemKind::EsClove] {
+        g.bench_function(format!("dumbbell_10g_{}", system.label()), |b| {
+            b.iter_batched(
+                || dumbbell_contention(system, 1),
+                |mut r| {
+                    r.sim.run_until(2 * MS);
+                    black_box(r.sim.stats().events)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn path_enumeration(c: &mut Criterion) {
+    let topo = three_tier(ThreeTierCfg {
+        pods: 4,
+        tors_per_pod: 4,
+        hosts_per_tor: 8,
+        aggs_per_pod: 4,
+        cores: 16,
+        ..ThreeTierCfg::default()
+    });
+    let a = topo.hosts[0];
+    let b = *topo.hosts.last().unwrap();
+    c.bench_function("paths_128host_fabric", |bch| {
+        bch.iter(|| topo.paths(black_box(a), black_box(b), 16));
+    });
+    c.bench_function("base_rtt_128host_fabric", |bch| {
+        bch.iter(|| topo.base_rtt(black_box(a), black_box(b)));
+    });
+}
+
+criterion_group!(benches, sim_throughput, path_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,443 @@
+//! μFAB-C: the informative core (§3.6, §4.2).
+//!
+//! One [`UfabCore`] runs per programmable switch. For every egress port it
+//! keeps the two demand registers (Φ_l — total bandwidth token, W_l —
+//! total sending window) plus a counting Bloom filter that recognises
+//! active VM-pairs. At egress dequeue (exactly where a P4 pipeline runs)
+//! it:
+//!
+//! * reads a probe's demand and updates the port summary — a *registering*
+//!   probe (first on a pair/path epoch) inserts the pair and adds its full
+//!   values, unless the Bloom filter already claims the pair (a false
+//!   positive), in which case the contribution is **omitted** — the §3.6
+//!   failure mode whose impact the paper argues is digested by capacity
+//!   headroom and migration; subsequent probes carry edge-computed deltas
+//!   that are applied unconditionally (the paper leaves the update
+//!   mechanics unspecified; see DESIGN.md §1);
+//! * stamps the probe with this link's telemetry: W_l, Φ_l, tx_l, q_l,
+//!   C_l (§3.2's five critical items);
+//! * processes finish probes: subtracts the pair's registered values,
+//!   removes it from the filter, and appends an acknowledgement bit;
+//! * periodically sweeps silently-inactive pairs (no probe within the
+//!   cleanup period) out of the registers — §4.2's "handling silently
+//!   inactive VM-pairs".
+//!
+//! A deliberate modelling note: the switch keeps a per-pair shadow map
+//! `(φ, w, last_seen)` to drive the idle sweep. On Tofino this is realised
+//! with hashed register banks at the granularity the Bloom filter permits;
+//! the shadow map models the same accounting without the hash-collision
+//! noise (whose headline effect — omissions — is already modelled by the
+//! Bloom filter itself).
+
+use netsim::agent::{PortView, SwitchAgent, SwitchCtx};
+use netsim::packet::{Packet, PacketKind};
+use netsim::Time;
+use std::any::Any;
+use std::collections::HashMap;
+use telemetry::{CountingBloom, DemandRegisters, HopInfo};
+
+/// Timer kind used for the periodic idle cleanup.
+const CLEANUP_TIMER: u64 = 0xC1EA;
+
+#[derive(Debug, Clone, Copy)]
+struct PairReg {
+    phi: f64,
+    w: f64,
+    last_seen: Time,
+    epoch: u64,
+}
+
+/// Per-egress-port summary state.
+#[derive(Debug)]
+pub struct PortSummary {
+    /// The Φ_l / W_l registers.
+    pub registers: DemandRegisters,
+    bloom: CountingBloom,
+    pairs: HashMap<u32, PairReg>,
+}
+
+impl PortSummary {
+    fn new(bloom_bytes: usize) -> Self {
+        Self {
+            registers: DemandRegisters::new(),
+            bloom: CountingBloom::new(bloom_bytes),
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Number of tracked (registered) pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Counters exported for tests and the resource accounting harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Probes processed.
+    pub probes: u64,
+    /// Registrations accepted.
+    pub registrations: u64,
+    /// Registrations omitted due to Bloom-filter false positives.
+    pub fp_omissions: u64,
+    /// Finish probes processed.
+    pub finishes: u64,
+    /// Pairs swept by the idle cleanup.
+    pub swept: u64,
+}
+
+/// The μFAB-C switch agent.
+pub struct UfabCore {
+    ports: HashMap<u16, PortSummary>,
+    bloom_bytes: usize,
+    cleanup_period: Time,
+    /// Counters.
+    pub stats: CoreStats,
+}
+
+impl UfabCore {
+    /// Create a core agent. `bloom_bytes` is the per-port filter size
+    /// (paper: 20 KB); `cleanup_period` the idle sweep interval (paper:
+    /// 10 s — experiments often shorten it to keep runs brief).
+    pub fn new(bloom_bytes: usize, cleanup_period: Time) -> Self {
+        Self {
+            ports: HashMap::new(),
+            bloom_bytes,
+            cleanup_period,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Summary for a port, if any probe has touched it.
+    pub fn port_summary(&self, port: u16) -> Option<&PortSummary> {
+        self.ports.get(&port)
+    }
+
+    /// Φ_l of a port (0 if untouched).
+    pub fn phi_total(&self, port: u16) -> f64 {
+        self.ports
+            .get(&port)
+            .map(|p| p.registers.phi_total())
+            .unwrap_or(0.0)
+    }
+
+    /// W_l of a port (0 if untouched).
+    pub fn w_total(&self, port: u16) -> f64 {
+        self.ports
+            .get(&port)
+            .map(|p| p.registers.w_total())
+            .unwrap_or(0.0)
+    }
+
+}
+
+impl SwitchAgent for UfabCore {
+    fn on_start(&mut self, ctx: &mut SwitchCtx) {
+        ctx.set_timer(self.cleanup_period, CLEANUP_TIMER);
+    }
+
+    fn on_egress(&mut self, ctx: &mut SwitchCtx, view: PortView, pkt: &mut Packet) {
+        let now = ctx.now;
+        let node = ctx.node.raw();
+        match &mut pkt.kind {
+            PacketKind::Probe(frame) => {
+                self.stats.probes += 1;
+                let bytes = self.bloom_bytes;
+                let stats = &mut self.stats;
+                let st = self
+                    .ports
+                    .entry(view.port.raw())
+                    .or_insert_with(|| PortSummary::new(bytes));
+                let key = frame.pair as u64;
+                if frame.registering {
+                    let seen = st.bloom.insert(key);
+                    if seen && !st.pairs.contains_key(&frame.pair) {
+                        // Bloom false positive: the pair looks already
+                        // registered, so its contribution is omitted.
+                        stats.fp_omissions += 1;
+                        // The counting filter took an insert; undo it so
+                        // a later finish of the colliding pair still
+                        // clears correctly.
+                        st.bloom.remove(key);
+                    } else {
+                        if let Some(prev) = st.pairs.get(&frame.pair).copied() {
+                            // Re-registration (e.g. probe retry): replace.
+                            st.registers.add_phi(-prev.phi);
+                            st.registers.add_w(-prev.w);
+                            st.bloom.remove(key);
+                        }
+                        st.registers.add_phi(frame.phi);
+                        st.registers.add_w(frame.w);
+                        st.pairs.insert(
+                            frame.pair,
+                            PairReg {
+                                phi: frame.phi,
+                                w: frame.w,
+                                last_seen: now,
+                                epoch: frame.epoch,
+                            },
+                        );
+                        stats.registrations += 1;
+                    }
+                } else if frame.phi_delta != 0.0 || frame.w_delta != 0.0 {
+                    st.registers.add_phi(frame.phi_delta);
+                    st.registers.add_w(frame.w_delta);
+                    match st.pairs.get_mut(&frame.pair) {
+                        Some(pr) => {
+                            pr.phi = (pr.phi + frame.phi_delta).max(0.0);
+                            pr.w = (pr.w + frame.w_delta).max(0.0);
+                            pr.last_seen = now;
+                        }
+                        None => {
+                            // Deltas for an unknown pair (registration was
+                            // omitted or swept): start tracking what we see.
+                            st.pairs.insert(
+                                frame.pair,
+                                PairReg {
+                                    phi: frame.phi_delta.max(0.0),
+                                    w: frame.w_delta.max(0.0),
+                                    last_seen: now,
+                                    epoch: frame.epoch,
+                                },
+                            );
+                            st.bloom.insert(key);
+                        }
+                    }
+                } else if let Some(pr) = st.pairs.get_mut(&frame.pair) {
+                    // Pure telemetry read (candidate-path probe carries no
+                    // deltas) still refreshes liveness for registered pairs.
+                    pr.last_seen = now;
+                }
+                // Stamp this link's telemetry (§3.2).
+                frame.hops.push(HopInfo {
+                    node,
+                    port: view.port.raw() as u32,
+                    w_total: st.registers.w_total(),
+                    phi_total: st.registers.phi_total(),
+                    tx_bps: view.tx_bps,
+                    q_bytes: view.q_bytes,
+                    cap_bps: view.cap_bps,
+                });
+            }
+            PacketKind::Finish(frame) if frame.forward => {
+                self.stats.finishes += 1;
+                let bytes = self.bloom_bytes;
+                let st = self
+                    .ports
+                    .entry(view.port.raw())
+                    .or_insert_with(|| PortSummary::new(bytes));
+                // Only clear the epoch this finish belongs to: a newer
+                // registration sharing this link must survive a stale or
+                // retried finish.
+                let matches = st
+                    .pairs
+                    .get(&frame.pair)
+                    .map(|pr| pr.epoch == frame.epoch)
+                    .unwrap_or(false);
+                if matches {
+                    if let Some(pr) = st.pairs.remove(&frame.pair) {
+                        st.registers.add_phi(-pr.phi);
+                        st.registers.add_w(-pr.w);
+                        st.bloom.remove(frame.pair as u64);
+                    }
+                }
+                // Acknowledge (idempotent for unknown/stale epochs).
+                frame.acks.push(true);
+            }
+            // Responses, finish echoes, data and ACKs pass untouched.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SwitchCtx, kind: u64) {
+        if kind != CLEANUP_TIMER {
+            return;
+        }
+        let cutoff = ctx.now.saturating_sub(self.cleanup_period);
+        for st in self.ports.values_mut() {
+            let stale: Vec<u32> = st
+                .pairs
+                .iter()
+                .filter(|(_, pr)| pr.last_seen < cutoff)
+                .map(|(&p, _)| p)
+                .collect();
+            for p in stale {
+                if let Some(pr) = st.pairs.remove(&p) {
+                    st.registers.add_phi(-pr.phi);
+                    st.registers.add_w(-pr.w);
+                    st.bloom.remove(p as u64);
+                    self.stats.swept += 1;
+                }
+            }
+        }
+        ctx.set_timer(self.cleanup_period, CLEANUP_TIMER);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::agent::Effects;
+    use netsim::{NodeId, PairId, PortNo, TenantId, MS};
+    use telemetry::{FinishFrame, ProbeFrame};
+
+    fn view(port: u16) -> PortView {
+        PortView {
+            port: PortNo(port),
+            q_bytes: 3000,
+            tx_bps: 5e9,
+            cap_bps: 10_000_000_000,
+        }
+    }
+
+    fn probe_pkt(pair: u32, phi: f64, w: f64, registering: bool) -> Packet {
+        let mut frame = ProbeFrame::probe(pair, 0, phi, w, 0);
+        frame.registering = registering;
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            pair: PairId(pair),
+            tenant: TenantId(0),
+            size: 90,
+            kind: PacketKind::Probe(frame),
+            route: vec![],
+            hop: 0,
+            ecn: false,
+            max_util: 0.0,
+            sent_at: 0,
+        }
+    }
+
+    fn run_egress(core: &mut UfabCore, now: Time, port: u16, pkt: &mut Packet) {
+        let mut fx = Effects::new();
+        let mut ctx = SwitchCtx::standalone(now, NodeId(9), &mut fx);
+        core.on_egress(&mut ctx, view(port), pkt);
+    }
+
+    #[test]
+    fn registration_accumulates_and_stamps() {
+        let mut core = UfabCore::new(4096, MS);
+        let mut p1 = probe_pkt(1, 2.0, 30_000.0, true);
+        run_egress(&mut core, 10, 0, &mut p1);
+        let mut p2 = probe_pkt(2, 3.0, 10_000.0, true);
+        run_egress(&mut core, 20, 0, &mut p2);
+        assert_eq!(core.phi_total(0), 5.0);
+        assert_eq!(core.w_total(0), 40_000.0);
+        assert_eq!(core.port_summary(0).unwrap().n_pairs(), 2);
+        // INT stamped on the probe.
+        let PacketKind::Probe(f) = &p2.kind else {
+            panic!()
+        };
+        assert_eq!(f.hops.len(), 1);
+        let h = &f.hops[0];
+        assert_eq!(h.phi_total, 5.0);
+        assert_eq!(h.q_bytes, 3000);
+        assert_eq!(h.cap_bps, 10_000_000_000);
+        assert_eq!(h.node, 9);
+    }
+
+    #[test]
+    fn deltas_update_registers() {
+        let mut core = UfabCore::new(4096, MS);
+        let mut reg = probe_pkt(1, 2.0, 30_000.0, true);
+        run_egress(&mut core, 0, 0, &mut reg);
+        let mut upd = probe_pkt(1, 2.5, 40_000.0, false);
+        if let PacketKind::Probe(f) = &mut upd.kind {
+            f.phi_delta = 0.5;
+            f.w_delta = 10_000.0;
+        }
+        run_egress(&mut core, 10, 0, &mut upd);
+        assert_eq!(core.phi_total(0), 2.5);
+        assert_eq!(core.w_total(0), 40_000.0);
+        assert_eq!(core.port_summary(0).unwrap().n_pairs(), 1);
+    }
+
+    #[test]
+    fn per_port_isolation() {
+        let mut core = UfabCore::new(4096, MS);
+        run_egress(&mut core, 0, 0, &mut probe_pkt(1, 1.0, 100.0, true));
+        run_egress(&mut core, 0, 3, &mut probe_pkt(2, 4.0, 200.0, true));
+        assert_eq!(core.phi_total(0), 1.0);
+        assert_eq!(core.phi_total(3), 4.0);
+        assert_eq!(core.phi_total(7), 0.0);
+    }
+
+    #[test]
+    fn finish_removes_and_acks() {
+        let mut core = UfabCore::new(4096, MS);
+        run_egress(&mut core, 0, 0, &mut probe_pkt(1, 2.0, 30_000.0, true));
+        let mut fin = Packet {
+            kind: PacketKind::Finish(FinishFrame::new(1, 0, 2.0, 30_000.0)),
+            ..probe_pkt(1, 0.0, 0.0, false)
+        };
+        run_egress(&mut core, 50, 0, &mut fin);
+        assert_eq!(core.phi_total(0), 0.0);
+        assert_eq!(core.w_total(0), 0.0);
+        let PacketKind::Finish(f) = &fin.kind else {
+            panic!()
+        };
+        assert_eq!(f.acks, vec![true]);
+        // Finishing an unknown pair still acks (idempotent).
+        let mut fin2 = Packet {
+            kind: PacketKind::Finish(FinishFrame::new(42, 0, 1.0, 1.0)),
+            ..probe_pkt(42, 0.0, 0.0, false)
+        };
+        run_egress(&mut core, 60, 0, &mut fin2);
+        assert_eq!(core.phi_total(0), 0.0);
+    }
+
+    #[test]
+    fn reregistration_replaces_not_double_counts() {
+        let mut core = UfabCore::new(4096, MS);
+        run_egress(&mut core, 0, 0, &mut probe_pkt(1, 2.0, 100.0, true));
+        // The edge retries registration (lost response).
+        run_egress(&mut core, 10, 0, &mut probe_pkt(1, 3.0, 150.0, true));
+        assert_eq!(core.phi_total(0), 3.0);
+        assert_eq!(core.w_total(0), 150.0);
+        assert_eq!(core.port_summary(0).unwrap().n_pairs(), 1);
+    }
+
+    #[test]
+    fn idle_cleanup_sweeps_silent_pairs() {
+        let mut core = UfabCore::new(4096, MS);
+        run_egress(&mut core, 0, 0, &mut probe_pkt(1, 2.0, 100.0, true));
+        run_egress(&mut core, 0, 0, &mut probe_pkt(2, 1.0, 50.0, true));
+        // Pair 2 stays alive via a delta probe at t = 1.5 ms.
+        let mut upd = probe_pkt(2, 1.0, 50.0, false);
+        if let PacketKind::Probe(f) = &mut upd.kind {
+            f.w_delta = 1.0;
+        }
+        run_egress(&mut core, 1_500_000, 0, &mut upd);
+        // Cleanup at t = 2 ms sweeps pair 1 (idle > 1 ms).
+        let mut fx = Effects::new();
+        let mut ctx = SwitchCtx::standalone(2 * MS, NodeId(9), &mut fx);
+        core.on_timer(&mut ctx, super::CLEANUP_TIMER);
+        assert_eq!(core.stats.swept, 1);
+        assert_eq!(core.phi_total(0), 1.0);
+        assert_eq!(core.port_summary(0).unwrap().n_pairs(), 1);
+    }
+
+    #[test]
+    fn responses_pass_untouched() {
+        let mut core = UfabCore::new(4096, MS);
+        let frame = ProbeFrame::probe(1, 0, 1.0, 0.0, 0).into_response(2.0);
+        let mut pkt = Packet {
+            kind: PacketKind::Response(frame),
+            ..probe_pkt(1, 0.0, 0.0, false)
+        };
+        run_egress(&mut core, 0, 0, &mut pkt);
+        let PacketKind::Response(f) = &pkt.kind else {
+            panic!()
+        };
+        assert!(f.hops.is_empty());
+        assert_eq!(core.phi_total(0), 0.0);
+    }
+}

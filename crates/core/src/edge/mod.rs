@@ -1,0 +1,1311 @@
+//! μFAB-E: the active edge (§3.3–§3.5, §4.1).
+//!
+//! One [`UfabEdge`] runs per host (the SmartNIC program). It owns:
+//!
+//! * the [`Endpoint`] transport engine (per-pair message queues,
+//!   reliability, delivery tracking);
+//! * the hierarchical [`wfq`] packet scheduler — WFQ across tenants,
+//!   round-robin across a tenant's pairs — pulled by NIC-idle events so
+//!   the NIC queue stays shallow and scheduling decisions stay live;
+//! * per-pair control state: candidate underlay paths, the two-stage
+//!   admission window (§3.4), registration state at the switches, probe
+//!   self-clocking (§4.1), violation counters, and migration freeze
+//!   windows (§3.5);
+//! * the GP token loops (Appendix E) run every token update period for
+//!   both directions (sender assignment, receiver admission).
+//!
+//! The control loop per pair: a **probe** carries the pair's (φ, w) along
+//! its underlay path; each μFAB-C adds its link's Φ_l/W_l/tx_l/q_l/C_l;
+//! the destination returns a **response** with its admitted token; on
+//! response the source recomputes the admission window (Eqn 3), checks the
+//! guarantee, and — after 5 consecutive violated RTTs outside the freeze
+//! window — migrates to a qualified candidate path.
+
+pub mod rate;
+pub mod wfq;
+
+use crate::config::UfabConfig;
+use crate::endpoint::{AppMsg, Endpoint};
+use crate::fabric::FabricSpec;
+use crate::tokens::{token_admission, token_assignment, PairTokens};
+use metrics::recorder::SharedRecorder;
+use netsim::agent::{EdgeAgent, EdgeCtx};
+use netsim::packet::{Packet, PacketKind};
+use netsim::{NodeId, PairId, PortNo, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD};
+use rand::Rng;
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+use telemetry::{wire, FinishFrame, HopInfo, ProbeFrame};
+use topology::Topo;
+use wfq::{weight_class, WfqScheduler};
+
+/// Timer kind: the periodic control tick (GP, timeouts, probing upkeep).
+const TICK: u64 = 1;
+
+/// Telemetry snapshot for one candidate path.
+#[derive(Debug, Clone, Default)]
+struct PathTelem {
+    hops: Vec<HopInfo>,
+    at: Time,
+}
+
+/// A candidate underlay path.
+#[derive(Debug, Clone)]
+struct PathInfo {
+    route: Vec<PortNo>,
+    base_rtt: Time,
+    n_switch_hops: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Registration {
+    path: usize,
+    phi: f64,
+    w: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ProbeOut {
+    seq: u64,
+    path: usize,
+    sent_at: Time,
+}
+
+#[derive(Debug)]
+struct PendingFinish {
+    route: Vec<PortNo>,
+    n_switch_hops: usize,
+    phi: f64,
+    w: f64,
+    seq: u64,
+    epoch: u64,
+    retries: u32,
+    next_retry: Time,
+}
+
+/// Per-pair control state at the source.
+#[derive(Debug)]
+struct PairCtl {
+    tenant: TenantId,
+    src_vm: VmId,
+    dst_host: NodeId,
+    candidates: Vec<PathInfo>,
+    telem: Vec<PathTelem>,
+    cur: usize,
+    /// Sender-assigned token φ_s (GP).
+    phi_s: f64,
+    /// Receiver-admitted token φ_p (∞ until constrained).
+    phi_r: f64,
+    /// Admission window in payload bytes (what the scheduler enforces).
+    window: f64,
+    /// Claimed window from Eqn 3 (what probes register at switches). May
+    /// exceed the admission window for an under-demanded pair — the claim
+    /// keeps W_l honest for work conservation while §3.4's two-stage
+    /// admission bounds what actually enters the fabric.
+    w_claim: f64,
+    /// Two-stage bootstrap window w′ (None = steady state).
+    boot: Option<f64>,
+    registered: Option<Registration>,
+    reg_epoch: u64,
+    probe_seq: u64,
+    outstanding: Option<ProbeOut>,
+    cand_probes: HashMap<u64, ProbeOut>,
+    bytes_since_probe: u64,
+    last_probe_sent: Time,
+    probe_losses: u32,
+    violations: u32,
+    unqualified: u32,
+    freeze_until: Time,
+    better_since: Option<Time>,
+    data_paused_until: Time,
+    /// Pacing gate for sub-MTU windows: no data before this instant.
+    next_send_at: Time,
+    /// Smoothed probe RTT (loss timeout scales with observed RTT so a
+    /// legitimately queued fabric does not look like probe loss).
+    srtt: Time,
+    last_alt_probe: Time,
+    pending_finish: Vec<PendingFinish>,
+    active: bool,
+}
+
+impl PairCtl {
+    fn phi_eff(&self) -> f64 {
+        self.phi_s.min(self.phi_r).max(0.0)
+    }
+
+    fn cur_path(&self) -> &PathInfo {
+        &self.candidates[self.cur]
+    }
+}
+
+/// Counters exported for experiments and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeStats {
+    /// Probes sent (all kinds).
+    pub probes_sent: u64,
+    /// Responses received.
+    pub responses: u64,
+    /// Path migrations performed.
+    pub migrations: u64,
+    /// Probe losses detected by timeout.
+    pub probe_timeouts: u64,
+    /// Finish probes sent.
+    pub finishes: u64,
+}
+
+/// The μFAB-E edge agent.
+pub struct UfabEdge {
+    cfg: UfabConfig,
+    topo: Rc<Topo>,
+    fabric: Rc<FabricSpec>,
+    /// The transport engine.
+    pub ep: Endpoint,
+    host: NodeId,
+    mtu: u32,
+    pairs: HashMap<PairId, PairCtl>,
+    /// Receiver side: sender demand seen per incoming pair.
+    rx_demand: HashMap<PairId, (f64, Time)>,
+    /// Receiver side: admitted tokens per incoming pair.
+    rx_admitted: HashMap<PairId, f64>,
+    wfq: WfqScheduler,
+    routes_back: HashMap<NodeId, Vec<PortNo>>,
+    reverse_cache: HashMap<(NodeId, Vec<PortNo>), Vec<PortNo>>,
+    /// Round-robin cursor for the budgeted demand-less keep-alive probes.
+    keepalive_cursor: u64,
+    /// Counters.
+    pub stats: EdgeStats,
+}
+
+impl UfabEdge {
+    /// Create the agent for `host`.
+    pub fn new(
+        cfg: UfabConfig,
+        topo: Rc<Topo>,
+        fabric: Rc<FabricSpec>,
+        recorder: SharedRecorder,
+        host: NodeId,
+    ) -> Self {
+        let mtu = topo.mtu;
+        let ep = Endpoint::new(host, Rc::clone(&fabric), recorder, mtu, 4 * cfg.rtt_scale);
+        Self {
+            cfg,
+            topo,
+            fabric,
+            ep,
+            host,
+            mtu,
+            pairs: HashMap::new(),
+            rx_demand: HashMap::new(),
+            rx_admitted: HashMap::new(),
+            wfq: WfqScheduler::new(),
+            routes_back: HashMap::new(),
+            reverse_cache: HashMap::new(),
+            keepalive_cursor: 0,
+            stats: EdgeStats::default(),
+        }
+    }
+
+    /// Submit a message directly (tests / drivers with agent access).
+    /// Inside a simulation prefer `sim.inject(host, Box::new(msg))`.
+    pub fn submit(&mut self, ctx: &mut EdgeCtx, msg: AppMsg) {
+        let pair = msg.pair;
+        self.ep.submit(ctx.now, msg);
+        self.activate_pair(ctx, pair);
+        self.pump(ctx);
+    }
+
+    /// Current admission window of a pair in bytes (tests/experiments).
+    pub fn window_of(&self, pair: PairId) -> Option<f64> {
+        self.pairs.get(&pair).map(|p| p.window)
+    }
+
+    /// Index of the pair's current candidate path (tests/experiments).
+    pub fn current_path_of(&self, pair: PairId) -> Option<usize> {
+        self.pairs.get(&pair).map(|p| p.cur)
+    }
+
+    /// The pair's current route (tests/experiments).
+    pub fn route_of(&self, pair: PairId) -> Option<Vec<PortNo>> {
+        self.pairs.get(&pair).map(|p| p.cur_path().route.clone())
+    }
+
+    /// Effective (min of sender/receiver) token of a pair.
+    pub fn phi_of(&self, pair: PairId) -> Option<f64> {
+        self.pairs.get(&pair).map(|p| p.phi_eff())
+    }
+
+    /// Claimed (Eqn 3) window of a pair (tests/experiments).
+    pub fn claim_of(&self, pair: PairId) -> Option<f64> {
+        self.pairs.get(&pair).map(|p| p.w_claim)
+    }
+
+    /// Whether a pair is active (tests/experiments).
+    pub fn is_active(&self, pair: PairId) -> Option<bool> {
+        self.pairs.get(&pair).map(|p| p.active)
+    }
+
+    /// Probe/response/migration counters snapshot.
+    pub fn edge_stats(&self) -> EdgeStats {
+        self.stats
+    }
+
+    fn min_window(&self) -> f64 {
+        self.cfg.min_window_mtus * (self.mtu - DATA_OVERHEAD) as f64
+    }
+
+    /// Route for a reply to `pkt`: retrace the packet's own source route
+    /// (it provably works — the packet just arrived on it); fall back to
+    /// a shortest path for unrouted (ECMP) packets.
+    fn reply_route(&mut self, pkt: &Packet) -> Vec<PortNo> {
+        if pkt.route.is_empty() {
+            return self.route_back(pkt.src);
+        }
+        let key = (pkt.src, pkt.route.clone());
+        if let Some(r) = self.reverse_cache.get(&key) {
+            return r.clone();
+        }
+        let rev = self.topo.reverse_route(pkt.src, &pkt.route);
+        if self.reverse_cache.len() > 4096 {
+            self.reverse_cache.clear();
+        }
+        self.reverse_cache.insert(key, rev.clone());
+        rev
+    }
+
+    fn route_back(&mut self, dst: NodeId) -> Vec<PortNo> {
+        if let Some(r) = self.routes_back.get(&dst) {
+            return r.clone();
+        }
+        let paths = self.topo.paths(self.host, dst, 1);
+        let route = paths
+            .first()
+            .unwrap_or_else(|| panic!("no path from {} to {}", self.host, dst))
+            .route();
+        self.routes_back.insert(dst, route.clone());
+        route
+    }
+
+    fn activate_pair(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let floor = self.min_window();
+        let eta = self.cfg.target_utilization;
+        let bu = self.fabric.bu_bps;
+        if let Some(pc) = self.pairs.get_mut(&pair) {
+            if !pc.active {
+                pc.active = true;
+                // §3.4 Scenario-2 re-entry: bootstrap from the pair's
+                // *current share* r·T (Eqn 1 over the freshest telemetry),
+                // never below the guarantee BDP.
+                let t_s = pc.cur_path().base_rtt as f64 / 1e9;
+                let guar = pc.phi_eff() * bu;
+                let r = if pc.telem[pc.cur].hops.is_empty() {
+                    guar
+                } else {
+                    rate::path_share_rate(pc.phi_eff(), &pc.telem[pc.cur].hops, eta)
+                        .max(guar)
+                };
+                if self.cfg.bounded_latency {
+                    pc.boot = Some(rate::bootstrap_window(r, t_s).max(floor));
+                    pc.window = pc.boot.unwrap();
+                }
+                pc.w_claim = pc.window.max(pc.w_claim.min(8.0 * pc.window));
+                self.wfq.add_pair(pc.tenant, pair);
+                self.register_on_current(ctx, pair);
+            }
+            return;
+        }
+        // Fresh pair: build candidates.
+        let spec = self.fabric.pair(pair);
+        let src_vm = spec.src;
+        let _dst_vm = spec.dst;
+        let tenant = self.fabric.pair_tenant(pair);
+        let dst_host = self.fabric.pair_dst_host(pair);
+        assert_eq!(self.fabric.pair_src_host(pair), self.host, "pair not ours");
+        assert_ne!(dst_host, self.host, "same-host VM pairs need no fabric");
+        let all = self.topo.paths(self.host, dst_host, self.cfg.path_enum_cap);
+        assert!(!all.is_empty(), "no path {} -> {}", self.host, dst_host);
+        // Randomly sample k candidates (§3.5).
+        let mut idxs: Vec<usize> = (0..all.len()).collect();
+        for i in (1..idxs.len()).rev() {
+            let j = ctx.rng.gen_range(0..=i);
+            idxs.swap(i, j);
+        }
+        idxs.truncate(self.cfg.candidate_paths.max(1));
+        let candidates: Vec<PathInfo> = idxs
+            .iter()
+            .map(|&i| {
+                let p = &all[i];
+                PathInfo {
+                    route: p.route(),
+                    base_rtt: self.topo.base_rtt_path(p),
+                    n_switch_hops: p.n_links().saturating_sub(1),
+                }
+            })
+            .collect();
+        let cur = ctx.rng.gen_range(0..candidates.len());
+        let n_cand = candidates.len();
+        // Initial sender token: quick split of the VM hose across its
+        // currently-active pairs (refined by the GP tick).
+        let vm_tokens = self.fabric.vm_tokens(src_vm);
+        let n_active = 1 + self
+            .pairs
+            .values()
+            .filter(|p| p.src_vm == src_vm && p.active)
+            .count();
+        let phi_s = vm_tokens / n_active as f64;
+        let t_s = candidates[cur].base_rtt as f64 / 1e9;
+        let guar = phi_s * self.fabric.bu_bps;
+        let boot = if self.cfg.bounded_latency {
+            Some(rate::bootstrap_window(guar, t_s).max(self.min_window()))
+        } else {
+            None
+        };
+        let window = boot
+            .unwrap_or_else(|| {
+                // μFAB′ starts from one BDP of the guarantee as well, but
+                // immediately tracks Eqn 3 afterwards.
+                rate::bootstrap_window(guar, t_s).max(self.min_window())
+            })
+            .max(self.min_window());
+        let pc = PairCtl {
+            tenant,
+            src_vm,
+            dst_host,
+            candidates,
+            telem: vec![PathTelem::default(); n_cand],
+            cur,
+            phi_s,
+            phi_r: f64::INFINITY,
+            window,
+            w_claim: window,
+            boot,
+            registered: None,
+            reg_epoch: 0,
+            probe_seq: 0,
+            outstanding: None,
+            cand_probes: HashMap::new(),
+            bytes_since_probe: 0,
+            last_probe_sent: 0,
+            probe_losses: 0,
+            violations: 0,
+            unqualified: 0,
+            freeze_until: 0,
+            better_since: None,
+            data_paused_until: 0,
+            next_send_at: 0,
+            srtt: 0,
+            last_alt_probe: ctx.now,
+            pending_finish: Vec::new(),
+            active: true,
+        };
+        self.pairs.insert(pair, pc);
+        self.wfq
+            .set_tenant(tenant, weight_class(vm_tokens, self.cfg.wfq_levels));
+        self.wfq.add_pair(tenant, pair);
+        self.register_on_current(ctx, pair);
+        self.probe_candidates(ctx, pair);
+    }
+
+    /// Send the registering probe on the current path.
+    fn register_on_current(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        let phi = pc.phi_eff();
+        let w = pc.w_claim;
+        let cur = pc.cur;
+        pc.registered = Some(Registration { path: cur, phi, w });
+        self.send_probe(ctx, pair, cur, true);
+    }
+
+    /// Probe every non-current candidate read-only (registration-free).
+    fn probe_candidates(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let n = match self.pairs.get(&pair) {
+            Some(pc) => pc.candidates.len(),
+            None => return,
+        };
+        for i in 0..n {
+            let is_cur = self.pairs[&pair].cur == i;
+            if !is_cur {
+                self.send_probe(ctx, pair, i, false);
+            }
+        }
+        if let Some(pc) = self.pairs.get_mut(&pair) {
+            pc.last_alt_probe = ctx.now;
+        }
+    }
+
+    /// Emit one probe on candidate `path_idx`. `registering` sends full
+    /// values for switch registration; otherwise the probe carries deltas
+    /// on the current path and nothing (pure read) on candidates.
+    fn send_probe(&mut self, ctx: &mut EdgeCtx, pair: PairId, path_idx: usize, registering: bool) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        let seq = pc.probe_seq;
+        pc.probe_seq += 1;
+        let phi = pc.phi_eff();
+        let w = pc.w_claim;
+        let mut frame = ProbeFrame::probe(pair.raw(), seq, phi, w, ctx.now);
+        let is_cur = path_idx == pc.cur;
+        if registering {
+            frame.registering = true;
+            pc.reg_epoch += 1;
+            frame.epoch = pc.reg_epoch;
+            pc.registered = Some(Registration {
+                path: path_idx,
+                phi,
+                w,
+            });
+        } else if is_cur {
+            frame.epoch = pc.reg_epoch;
+            if let Some(reg) = &mut pc.registered {
+                frame.phi_delta = phi - reg.phi;
+                frame.w_delta = w - reg.w;
+                reg.phi = phi;
+                reg.w = w;
+            }
+        }
+        let out = ProbeOut {
+            seq,
+            path: path_idx,
+            sent_at: ctx.now,
+        };
+        if is_cur {
+            pc.outstanding = Some(out);
+            pc.bytes_since_probe = 0;
+            pc.last_probe_sent = ctx.now;
+        } else {
+            pc.cand_probes.insert(seq, out);
+        }
+        let info = &pc.candidates[path_idx];
+        let size = wire::probe_packet_bytes(info.n_switch_hops, info.route.len()) as u32;
+        let pkt = Packet {
+            src: self.host,
+            dst: pc.dst_host,
+            pair,
+            tenant: pc.tenant,
+            size,
+            kind: PacketKind::Probe(frame),
+            route: info.route.clone(),
+            hop: 0,
+            ecn: false,
+            max_util: 0.0,
+            sent_at: ctx.now,
+        };
+        self.stats.probes_sent += 1;
+        ctx.send(pkt);
+    }
+
+    /// Self-clocked probing (§4.1): after a response, the next probe goes
+    /// out once L_m data bytes have been sent.
+    fn maybe_probe(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let Some(pc) = self.pairs.get(&pair) else {
+            return;
+        };
+        if !pc.active || pc.outstanding.is_some() {
+            return;
+        }
+        match self.cfg.probe_period_rtts {
+            None => {
+                if pc.bytes_since_probe >= self.cfg.probe_lm_bytes {
+                    let cur = pc.cur;
+                    self.send_probe(ctx, pair, cur, false);
+                }
+            }
+            Some(n) => {
+                let period = n * pc.cur_path().base_rtt;
+                if ctx.now.saturating_sub(pc.last_probe_sent) >= period {
+                    let cur = pc.cur;
+                    self.send_probe(ctx, pair, cur, false);
+                }
+            }
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut EdgeCtx, frame: ProbeFrame) {
+        let pair = PairId(frame.pair);
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        self.stats.responses += 1;
+        if let Some(rx_phi) = frame.rx_phi {
+            pc.phi_r = rx_phi;
+        }
+        // Which path does this telemetry describe?
+        let path_idx = if pc.outstanding.map(|o| o.seq) == Some(frame.seq) {
+            let o = pc.outstanding.take().expect("checked");
+            pc.probe_losses = 0;
+            let sample = ctx.now.saturating_sub(o.sent_at);
+            pc.srtt = if pc.srtt == 0 {
+                sample
+            } else {
+                (3 * pc.srtt + sample) / 4
+            };
+            o.path
+        } else if let Some(o) = pc.cand_probes.remove(&frame.seq) {
+            o.path
+        } else {
+            return; // stale / duplicate
+        };
+        // Blend the volatile per-hop signals (tx rate, queue) into the
+        // previous snapshot: Eqn 3 takes a min across hops, and a min of
+        // independently-noisy terms is biased low — smoothing each hop
+        // before the min removes most of that bias (the register-backed
+        // Φ_l/W_l are low-noise and taken fresh).
+        let prev = std::mem::take(&mut pc.telem[path_idx]);
+        let mut hops = frame.hops.clone();
+        if prev.hops.len() == hops.len() {
+            for (h, p) in hops.iter_mut().zip(prev.hops.iter()) {
+                if h.node == p.node && h.port == p.port {
+                    h.tx_bps = 0.5 * h.tx_bps + 0.5 * p.tx_bps;
+                    h.q_bytes = ((h.q_bytes + p.q_bytes) / 2).min(h.q_bytes.max(p.q_bytes));
+                }
+            }
+        }
+        // A type-4 failure notification (Appendix G): the probe hit a dead
+        // link. Mark the path's telemetry stale and migrate right away —
+        // no need to wait out the probe-loss timeout.
+        if frame.kind == telemetry::ProbeKind::Failure {
+            pc.telem[path_idx] = PathTelem::default();
+            if path_idx == pc.cur {
+                pc.violations = self.cfg.violation_rtts;
+                self.stats.probe_timeouts += 1;
+                self.probe_candidates(ctx, pair);
+                self.try_migrate(ctx, pair, false, true);
+            }
+            return;
+        }
+        pc.telem[path_idx] = PathTelem { hops, at: ctx.now };
+        if path_idx != pc.cur {
+            return;
+        }
+        // ---- Rate control on the current path (Eqn 3 + two-stage) ----
+        let eta = self.cfg.target_utilization;
+        let t_s = pc.cur_path().base_rtt as f64 / 1e9;
+        let phi = pc.phi_eff();
+        let hops = &pc.telem[path_idx].hops;
+        let w3 = rate::path_window(phi, pc.w_claim, hops, t_s, eta, self.mtu);
+        let floor = self.cfg.min_window_mtus * (self.mtu - DATA_OVERHEAD) as f64;
+        // The *claim* tracks Eqn 3: an under-demanded pair keeps claiming
+        // its proportional share so W_l stays honest and the
+        // C_l·T/(tx_l·T+q_l) multiplier can drive work conservation. The
+        // update is smoothed (gain per response) because responses arrive
+        // every L_m bytes — far more often than once per RTT — and an
+        // unsmoothed multiplicative update under bursty-meter noise
+        // equilibrates below target utilisation (Appendix C's stability
+        // argument: adaptation must be scaled to the RTT).
+        let gain = self.cfg.claim_gain;
+        pc.w_claim = (pc.w_claim + gain * (w3 - pc.w_claim)).max(floor);
+        let r_share = rate::path_share_rate(phi, hops, eta);
+        let measured_tx = self.ep.tx_rate_bps(ctx.now, pair);
+        let window_limited = self.ep.has_backlog(pair);
+        if self.cfg.bounded_latency {
+            match pc.boot {
+                Some(boot) => {
+                    if window_limited {
+                        // Stage-1 additive increase, one share-BDP per RTT.
+                        let next = boot + rate::bootstrap_increment(phi, hops, t_s, eta);
+                        if next >= pc.w_claim {
+                            pc.boot = None;
+                        } else {
+                            pc.boot = Some(next);
+                        }
+                    }
+                    // Under-demanded pairs hold at their bootstrap level.
+                }
+                None => {
+                    // §3.4 Scenario-2: a pair sending below its share must
+                    // not keep an armed full-size window — re-enter the
+                    // ramp from r·T so a sudden burst stays bounded.
+                    if !window_limited && measured_tx < 0.9 * r_share {
+                        pc.boot =
+                            Some(rate::bootstrap_window(r_share, t_s).max(floor));
+                    }
+                }
+            }
+            pc.window = pc.boot.unwrap_or(pc.w_claim).min(pc.w_claim).max(floor);
+        } else {
+            pc.window = pc.w_claim;
+        }
+        // Eqn 1 is a *lower bound*: the pair may always keep r·T inflight
+        // on a qualified path, whatever the claim dynamics say.
+        if rate::path_qualified(hops, 0.0, self.fabric.bu_bps, eta) {
+            let r_window = rate::bootstrap_window(r_share, t_s);
+            pc.window = pc.window.max(r_window);
+            pc.w_claim = pc.w_claim.max(r_window);
+        }
+        // ---- Guarantee violation bookkeeping (§3.5 trigger i) ----
+        let bu = self.fabric.bu_bps;
+        let guar = phi * bu;
+        let unqualified = !rate::path_qualified(hops, 0.0, bu, eta);
+        let has_demand = self.ep.has_backlog(pair) || self.ep.inflight(pair) > 0;
+        let measured = self.ep.delivered_rate_bps(ctx.now, pair);
+        if has_demand && guar > 0.0 && (measured < 0.85 * guar || unqualified) {
+            pc.violations += 1;
+        } else {
+            pc.violations = 0;
+        }
+        // An explicitly-unqualified path (C_l < Φ_l·B_u) provably cannot
+        // serve anyone's guarantee (§3.3) — two consecutive sightings are
+        // enough to act, while measured-rate violations keep the cautious
+        // 5-RTT hold of §3.5.
+        if unqualified {
+            pc.unqualified += 1;
+        } else {
+            pc.unqualified = 0;
+        }
+        // Disqualification alone is not actionable (the placement may be
+        // hose-infeasible and everyone still gets a proportional share);
+        // it only accelerates an actual measured violation.
+        let migrate_violation = (pc.violations >= self.cfg.violation_rtts
+            || (pc.unqualified >= 2 && pc.violations >= 2))
+            && ctx.now >= pc.freeze_until;
+        let sustained = pc.violations >= self.cfg.violation_rtts;
+        // ---- Work-conservation trigger (ii): persistently better path --
+        let cur_potential = rate::path_potential_rate(phi, hops, eta);
+        let mut best_alt: Option<(usize, f64)> = None;
+        for (i, t) in pc.telem.iter().enumerate() {
+            if i == pc.cur || t.hops.is_empty() {
+                continue;
+            }
+            if ctx.now.saturating_sub(t.at) > 20 * pc.cur_path().base_rtt {
+                continue;
+            }
+            if !rate::path_qualified(&t.hops, phi, bu, eta) {
+                continue;
+            }
+            let p = rate::path_potential_rate(phi, &t.hops, eta);
+            if best_alt.map(|(_, bp)| p > bp).unwrap_or(true) {
+                best_alt = Some((i, p));
+            }
+        }
+        let mut migrate_wc = false;
+        if let Some((_, alt_p)) = best_alt {
+            if alt_p > 1.25 * cur_potential && has_demand {
+                let since = *pc.better_since.get_or_insert(ctx.now);
+                if ctx.now.saturating_sub(since) >= self.cfg.better_path_hold
+                    && ctx.now >= pc.freeze_until
+                {
+                    migrate_wc = true;
+                }
+            } else {
+                pc.better_since = None;
+            }
+        } else {
+            pc.better_since = None;
+        }
+        if migrate_violation || migrate_wc {
+            self.try_migrate(ctx, pair, migrate_wc && !migrate_violation, sustained);
+        }
+        self.pump(ctx);
+    }
+
+    /// Pick a qualified candidate and migrate (§3.5). For the
+    /// work-conservation trigger only the best-R path is considered; for
+    /// violations we prefer minimum subscription with some randomness.
+    fn try_migrate(
+        &mut self,
+        ctx: &mut EdgeCtx,
+        pair: PairId,
+        work_conservation: bool,
+        sustained: bool,
+    ) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        let eta = self.cfg.target_utilization;
+        let bu = self.fabric.bu_bps;
+        let phi = pc.phi_eff();
+        let fresh_limit = 20 * pc.cur_path().base_rtt;
+        let cur_sub = if pc.telem[pc.cur].hops.is_empty() {
+            f64::INFINITY
+        } else {
+            rate::path_subscription(&pc.telem[pc.cur].hops, 0.0, bu, eta)
+        };
+        let mut qualified: Vec<(usize, f64, f64)> = Vec::new(); // (idx, subscription, potential)
+        let mut fresh: Vec<(usize, f64)> = Vec::new(); // (idx, subscription)
+        for (i, t) in pc.telem.iter().enumerate() {
+            if i == pc.cur || t.hops.is_empty() {
+                continue;
+            }
+            if ctx.now.saturating_sub(t.at) > fresh_limit {
+                continue;
+            }
+            let sub = rate::path_subscription(&t.hops, phi, bu, eta);
+            fresh.push((i, sub));
+            if rate::path_qualified(&t.hops, phi, bu, eta) {
+                qualified.push((i, sub, rate::path_potential_rate(phi, &t.hops, eta)));
+            }
+        }
+        if qualified.is_empty() {
+            // No qualified candidate. §3.6: over-subscribed placements are
+            // "digested by the headroom and migration due to bandwidth
+            // dissatisfaction" — when the current path is itself
+            // disqualified, descending to a clearly less-subscribed path
+            // improves the global placement even if that path is not yet
+            // qualified (another pair will move off it next).
+            if !work_conservation && sustained && cur_sub > 1.05 {
+                if let Some(&(best, best_sub)) = fresh
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN"))
+                {
+                    if best_sub < 0.85 * cur_sub {
+                        self.do_migrate(ctx, pair, best);
+                        // Descents between over-subscribed paths are prone
+                        // to ping-pong; hold them back much longer.
+                        if let Some(pc) = self.pairs.get_mut(&pair) {
+                            let hold = pc.freeze_until.saturating_sub(ctx.now);
+                            pc.freeze_until = ctx.now + 4 * hold.max(1);
+                        }
+                        return;
+                    }
+                }
+            }
+            // Otherwise: widen the search — replace one random non-current
+            // candidate with a fresh path sample, then re-probe.
+            self.resample_candidate(ctx, pair);
+            self.probe_candidates(ctx, pair);
+            return;
+        }
+        let new_idx = if work_conservation {
+            qualified
+                .iter()
+                .max_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN"))
+                .expect("non-empty")
+                .0
+        } else {
+            // Random with preference to minimum subscription (§3.5).
+            let min = qualified
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN"))
+                .expect("non-empty")
+                .0;
+            if ctx.rng.gen_bool(0.75) {
+                min
+            } else {
+                qualified[ctx.rng.gen_range(0..qualified.len())].0
+            }
+        };
+        self.do_migrate(ctx, pair, new_idx);
+    }
+
+    /// Swap one random non-current candidate for a path not currently in
+    /// the candidate set (keeps the §3.5 random-subset search moving when
+    /// every sampled candidate is disqualified).
+    fn resample_candidate(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        let all = self
+            .topo
+            .paths(self.host, pc.dst_host, self.cfg.path_enum_cap);
+        if all.len() <= pc.candidates.len() {
+            return; // nothing new to draw from
+        }
+        let existing: Vec<Vec<PortNo>> =
+            pc.candidates.iter().map(|c| c.route.clone()).collect();
+        let fresh_paths: Vec<&topology::Path> = all
+            .iter()
+            .filter(|p| !existing.contains(&p.route()))
+            .collect();
+        if fresh_paths.is_empty() || pc.candidates.len() < 2 {
+            return;
+        }
+        let new_path = fresh_paths[ctx.rng.gen_range(0..fresh_paths.len())];
+        // Replace a random candidate that is not the current one.
+        let mut victim = ctx.rng.gen_range(0..pc.candidates.len());
+        if victim == pc.cur {
+            victim = (victim + 1) % pc.candidates.len();
+        }
+        pc.candidates[victim] = PathInfo {
+            route: new_path.route(),
+            base_rtt: self.topo.base_rtt_path(new_path),
+            n_switch_hops: new_path.n_links().saturating_sub(1),
+        };
+        pc.telem[victim] = PathTelem::default();
+    }
+
+    fn do_migrate(&mut self, ctx: &mut EdgeCtx, pair: PairId, new_idx: usize) {
+        let floor = self.min_window();
+        let eta = self.cfg.target_utilization;
+        let bu = self.fabric.bu_bps;
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        if new_idx == pc.cur {
+            return;
+        }
+        self.stats.migrations += 1;
+        self.ep.recorder().borrow_mut().path_migrations += 1;
+        // Deregister from the old path.
+        if let Some(reg) = pc.registered.take() {
+            let old = &pc.candidates[reg.path];
+            pc.pending_finish.push(PendingFinish {
+                route: old.route.clone(),
+                n_switch_hops: old.n_switch_hops,
+                phi: reg.phi,
+                w: reg.w,
+                seq: pc.probe_seq,
+                epoch: pc.reg_epoch,
+                retries: 0,
+                next_retry: ctx.now,
+            });
+            pc.probe_seq += 1;
+        }
+        pc.cur = new_idx;
+        pc.violations = 0;
+        pc.unqualified = 0;
+        pc.outstanding = None;
+        pc.better_since = None;
+        let base = pc.cur_path().base_rtt;
+        let n = ctx.rng.gen_range(1..=self.cfg.freeze_rtts_max.max(1));
+        pc.freeze_until = ctx.now + n * base;
+        if self.cfg.reorder_free {
+            pc.data_paused_until = ctx.now + base;
+        }
+        // Scenario-2 bootstrap on the new path: start from the
+        // proportional share the new path's telemetry promises.
+        let t_s = base as f64 / 1e9;
+        let hops = &pc.telem[new_idx].hops;
+        let r = if hops.is_empty() {
+            pc.phi_eff() * bu
+        } else {
+            rate::path_share_rate(pc.phi_eff(), hops, eta)
+        };
+        let w0 = rate::bootstrap_window(r, t_s).max(floor);
+        if self.cfg.bounded_latency {
+            pc.boot = Some(w0);
+        }
+        pc.window = w0;
+        pc.w_claim = w0;
+        self.register_on_current(ctx, pair);
+        self.flush_finish(ctx, pair);
+    }
+
+    fn flush_finish(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        // Drop finishes that exhausted their retries (dead path; the
+        // switch idle-cleanup reclaims those registrations).
+        pc.pending_finish.retain(|pf| pf.retries <= 10);
+        let retry_after = 4 * pc.candidates[pc.cur].base_rtt;
+        let mut to_send = Vec::new();
+        for pf in pc.pending_finish.iter_mut() {
+            if ctx.now < pf.next_retry {
+                continue;
+            }
+            pf.retries += 1;
+            pf.next_retry = ctx.now + retry_after;
+            let mut frame = FinishFrame::new(pair.raw(), pf.seq, pf.phi, pf.w);
+            frame.epoch = pf.epoch;
+            frame.forward = true;
+            let size = wire::probe_packet_bytes(pf.n_switch_hops, pf.route.len()) as u32;
+            to_send.push((frame, size, pf.route.clone()));
+        }
+        let dst = pc.dst_host;
+        let tenant = pc.tenant;
+        for (frame, size, route) in to_send {
+            self.stats.finishes += 1;
+            ctx.send(Packet {
+                src: self.host,
+                dst,
+                pair,
+                tenant,
+                size,
+                kind: PacketKind::Finish(frame),
+                route,
+                hop: 0,
+                ecn: false,
+                max_util: 0.0,
+                sent_at: ctx.now,
+            });
+        }
+    }
+
+    /// GP sender side: split each local VM's hose across its active pairs.
+    fn gp_sender_tick(&mut self, now: Time) {
+        let mut by_vm: HashMap<VmId, Vec<PairId>> = HashMap::new();
+        for (id, pc) in &self.pairs {
+            if pc.active {
+                by_vm.entry(pc.src_vm).or_default().push(*id);
+            }
+        }
+        for (vm, mut pair_ids) in by_vm {
+            pair_ids.sort();
+            let phi_vm = self.fabric.vm_tokens(vm);
+            let mut views: Vec<PairTokens> = pair_ids
+                .iter()
+                .map(|&p| {
+                    let tx = self.ep.tx_rate_bps(now, p);
+                    let phi_r = self.pairs[&p].phi_r;
+                    PairTokens::new(tx, phi_r)
+                })
+                .collect();
+            token_assignment(phi_vm, self.fabric.bu_bps, &mut views);
+            for (p, v) in pair_ids.iter().zip(&views) {
+                if let Some(pc) = self.pairs.get_mut(p) {
+                    pc.phi_s = v.phi_s;
+                }
+            }
+        }
+    }
+
+    /// GP receiver side: admit incoming demands per destination VM.
+    fn gp_receiver_tick(&mut self, now: Time) {
+        let stale = 8 * self.cfg.token_update_period;
+        self.rx_demand
+            .retain(|_, (_, at)| now.saturating_sub(*at) <= stale.max(1));
+        let mut by_vm: HashMap<VmId, Vec<(PairId, f64)>> = HashMap::new();
+        for (&pair, &(phi_s, _)) in &self.rx_demand {
+            let dst_vm = self.fabric.pair(pair).dst;
+            by_vm.entry(dst_vm).or_default().push((pair, phi_s));
+        }
+        self.rx_admitted.clear();
+        for (vm, mut entries) in by_vm {
+            entries.sort_by_key(|(p, _)| *p);
+            let phi_vm = self.fabric.vm_tokens(vm);
+            let demands: Vec<f64> = entries.iter().map(|(_, d)| *d).collect();
+            let admitted = token_admission(phi_vm, &demands);
+            for ((pair, _), adm) in entries.iter().zip(admitted) {
+                self.rx_admitted.insert(*pair, adm);
+            }
+        }
+    }
+
+    /// The periodic control tick.
+    fn tick(&mut self, ctx: &mut EdgeCtx) {
+        let now = ctx.now;
+        self.gp_sender_tick(now);
+        self.gp_receiver_tick(now);
+        let pair_ids: Vec<PairId> = self.pairs.keys().copied().collect();
+        let mut need_pump = false;
+        for pair in pair_ids {
+            // Probe-loss detection (8 baseRTT timeout, §4.1).
+            let (timed_out, base, active, idle_since, rto_due, alt_due, period_probe) = {
+                let pc = &self.pairs[&pair];
+                let base = pc.cur_path().base_rtt;
+                let timeout = (self.cfg.probe_timeout_rtts * base).max(3 * pc.srtt);
+                let timed_out = pc
+                    .outstanding
+                    .map(|o| now.saturating_sub(o.sent_at) > timeout)
+                    .unwrap_or(false);
+                let idle_since = self.ep.last_activity(pair);
+                let rto_due = self.ep.inflight(pair) > 0;
+                let alt_due = pc.active
+                    && now.saturating_sub(pc.last_alt_probe) >= self.cfg.alt_probe_period;
+                let period_probe =
+                    pc.active && self.cfg.probe_period_rtts.is_some() && pc.outstanding.is_none();
+                (
+                    timed_out,
+                    base,
+                    pc.active,
+                    idle_since,
+                    rto_due,
+                    alt_due,
+                    period_probe,
+                )
+            };
+            if timed_out {
+                self.stats.probe_timeouts += 1;
+                let pc = self.pairs.get_mut(&pair).expect("known pair");
+                pc.outstanding = None;
+                pc.probe_losses += 1;
+                if pc.probe_losses >= 2 && now >= pc.freeze_until {
+                    // Path considered failed: mark telemetry stale and
+                    // migrate anywhere qualified.
+                    pc.telem[pc.cur] = PathTelem::default();
+                    pc.violations = self.cfg.violation_rtts;
+                    self.probe_candidates(ctx, pair);
+                    self.try_migrate(ctx, pair, false, true);
+                } else {
+                    let cur = pc.cur;
+                    let registered = pc.registered.is_some();
+                    self.send_probe(ctx, pair, cur, !registered);
+                }
+            }
+            if rto_due {
+                let rto = self.cfg.rto_rtts * base;
+                if self.ep.check_timeouts(now, pair, rto) {
+                    need_pump = true;
+                }
+            }
+            if active {
+                if period_probe {
+                    self.maybe_probe(ctx, pair);
+                }
+                if alt_due {
+                    self.probe_candidates(ctx, pair);
+                }
+                // Idle detection → finish probes (§3.6).
+                let has_work = self.ep.has_backlog(pair) || self.ep.inflight(pair) > 0;
+                if !has_work && now.saturating_sub(idle_since) >= self.cfg.idle_finish {
+                    self.deactivate_pair(ctx, pair);
+                }
+            }
+            self.flush_finish(ctx, pair);
+        }
+        // Budgeted keep-alives: beyond the L_m-self-clocked probes that
+        // ride with data (§4.1 — the probes that give the 1.28 % bound),
+        // every active pair occasionally needs a probe even when its data
+        // clock ticks slowly — under-demanded pairs must keep their Eqn-3
+        // claims fresh and window-limited pairs must keep the control
+        // loop alive. These extra probes rotate across pairs under a
+        // fixed per-host budget (≤2 per token tick), so their aggregate
+        // bandwidth is bounded regardless of the pair count.
+        let mut idle_candidates: Vec<PairId> = self
+            .pairs
+            .iter()
+            .filter(|(_, pc)| {
+                pc.active
+                    && pc.outstanding.is_none()
+                    && now.saturating_sub(pc.last_probe_sent)
+                        >= 4 * pc.cur_path().base_rtt
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        idle_candidates.sort();
+        let budget = 2usize.min(idle_candidates.len());
+        for k in 0..budget {
+            let idx = (self.keepalive_cursor as usize + k) % idle_candidates.len();
+            let pair = idle_candidates[idx];
+            let (cur, registered) = {
+                let pc = &self.pairs[&pair];
+                (pc.cur, pc.registered.is_some())
+            };
+            self.send_probe(ctx, pair, cur, !registered);
+        }
+        self.keepalive_cursor = self.keepalive_cursor.wrapping_add(budget as u64);
+        if need_pump {
+            self.pump(ctx);
+        }
+        ctx.set_timer(self.cfg.token_update_period, TICK);
+    }
+
+    fn deactivate_pair(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
+        let Some(pc) = self.pairs.get_mut(&pair) else {
+            return;
+        };
+        if !pc.active {
+            return;
+        }
+        pc.active = false;
+        pc.outstanding = None;
+        if let Some(reg) = pc.registered.take() {
+            let old = &pc.candidates[reg.path];
+            pc.pending_finish.push(PendingFinish {
+                route: old.route.clone(),
+                n_switch_hops: old.n_switch_hops,
+                phi: reg.phi,
+                w: reg.w,
+                seq: pc.probe_seq,
+                epoch: pc.reg_epoch,
+                retries: 0,
+                next_retry: ctx.now,
+            });
+            pc.probe_seq += 1;
+        }
+        let tenant = pc.tenant;
+        self.wfq.remove_pair(tenant, pair);
+        self.flush_finish(ctx, pair);
+    }
+
+    /// Pull-based data pump: fill the NIC up to two packets, picking pairs
+    /// via the hierarchical WFQ under their admission windows.
+    fn pump(&mut self, ctx: &mut EdgeCtx) {
+        let mut budget = 2usize.saturating_sub(ctx.nic.queue_pkts);
+        while budget > 0 {
+            let mut wfq = std::mem::take(&mut self.wfq);
+            let picked = {
+                let pairs = &self.pairs;
+                let ep = &self.ep;
+                let now = ctx.now;
+                wfq.pick(|pair| {
+                    let pc = pairs.get(&pair)?;
+                    if !pc.active || now < pc.data_paused_until {
+                        return None;
+                    }
+                    let (payload, is_retx) = ep.peek_segment(pair)?;
+                    let inflight = ep.inflight(pair);
+                    if is_retx || inflight + payload as u64 <= pc.window as u64 {
+                        Some(payload + DATA_OVERHEAD)
+                    } else if (inflight as f64) < pc.window && now >= pc.next_send_at {
+                        // Fractional window credit (including sub-MTU
+                        // windows): a packet may start whenever inflight <
+                        // window, with the overshoot paced so the average
+                        // rate stays window/baseRTT (the FPGA scheduler's
+                        // per-pair pacing, §4.1). Without this, a window of
+                        // 1.7 packets quantises down to 1 packet/RTT and
+                        // token-proportional sharing breaks.
+                        Some(payload + DATA_OVERHEAD)
+                    } else {
+                        None
+                    }
+                })
+            };
+            self.wfq = wfq;
+            let Some((pair, _size)) = picked else {
+                break;
+            };
+            let Some((info, wire_size)) = self.ep.next_segment(ctx.now, pair) else {
+                break;
+            };
+            let pc = self.pairs.get_mut(&pair).expect("picked pair exists");
+            if self.ep.inflight(pair) > pc.window as u64 {
+                // This send overshot the window (fractional credit): pace
+                // the next one so the average rate stays window/baseRTT.
+                let rate_bps =
+                    pc.window.max(1.0) * 8.0 / (pc.cur_path().base_rtt as f64 / 1e9);
+                let gap = (info.payload as f64 * 8.0 / rate_bps * 1e9) as Time;
+                pc.next_send_at = ctx.now + gap;
+            }
+            let pkt = Packet {
+                src: self.host,
+                dst: pc.dst_host,
+                pair,
+                tenant: pc.tenant,
+                size: wire_size,
+                kind: PacketKind::Data(info),
+                route: pc.cur_path().route.clone(),
+                hop: 0,
+                ecn: false,
+                max_util: 0.0,
+                sent_at: ctx.now,
+            };
+            pc.bytes_since_probe += info.payload as u64;
+            ctx.send(pkt);
+            budget -= 1;
+            self.maybe_probe(ctx, pair);
+        }
+    }
+}
+
+impl EdgeAgent for UfabEdge {
+    fn on_start(&mut self, ctx: &mut EdgeCtx) {
+        ctx.set_timer(self.cfg.token_update_period, TICK);
+    }
+
+    fn on_packet(&mut self, ctx: &mut EdgeCtx, pkt: Packet) {
+        match &pkt.kind {
+            PacketKind::Data(_) => {
+                let (ack, reply) = self.ep.on_data(ctx.now, &pkt);
+                let route = self.reply_route(&pkt);
+                ctx.send(Packet {
+                    src: self.host,
+                    dst: pkt.src,
+                    pair: pkt.pair,
+                    tenant: pkt.tenant,
+                    size: ACK_SIZE,
+                    kind: PacketKind::Ack(ack),
+                    route,
+                    hop: 0,
+                    ecn: false,
+                    max_util: 0.0,
+                    sent_at: ctx.now,
+                });
+                if let Some(msg) = reply {
+                    let p = msg.pair;
+                    self.ep.submit(ctx.now, msg);
+                    self.activate_pair(ctx, p);
+                    self.pump(ctx);
+                }
+            }
+            PacketKind::Ack(ack) => {
+                let res = self.ep.on_ack(ctx.now, pkt.pair, ack);
+                if let Some(rtt) = res.rtt {
+                    self.ep.recorder().borrow_mut().rtt(
+                        ctx.now,
+                        pkt.pair.raw(),
+                        pkt.tenant.raw(),
+                        rtt,
+                    );
+                }
+                if res.valid {
+                    self.pump(ctx);
+                }
+            }
+            PacketKind::Probe(frame) => {
+                // We are the destination: record demand, respond.
+                self.rx_demand
+                    .insert(pkt.pair, (frame.phi, ctx.now));
+                let admitted = self
+                    .rx_admitted
+                    .get(&pkt.pair)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                let resp = frame.clone().into_response(admitted);
+                let route = self.reply_route(&pkt);
+                let size = wire::probe_packet_bytes(resp.hops.len(), route.len()) as u32;
+                ctx.send(Packet {
+                    src: self.host,
+                    dst: pkt.src,
+                    pair: pkt.pair,
+                    tenant: pkt.tenant,
+                    size,
+                    kind: PacketKind::Response(resp),
+                    route,
+                    hop: 0,
+                    ecn: false,
+                    max_util: 0.0,
+                    sent_at: ctx.now,
+                });
+            }
+            PacketKind::Response(frame) => {
+                let frame = frame.clone();
+                self.handle_response(ctx, frame);
+            }
+            PacketKind::Finish(frame) => {
+                // Destination: echo the acknowledgements back.
+                let mut echo = frame.clone();
+                echo.forward = false;
+                let route = self.reply_route(&pkt);
+                ctx.send(Packet {
+                    src: self.host,
+                    dst: pkt.src,
+                    pair: pkt.pair,
+                    tenant: pkt.tenant,
+                    size: pkt.size,
+                    kind: PacketKind::FinishAck(echo),
+                    route,
+                    hop: 0,
+                    ecn: false,
+                    max_util: 0.0,
+                    sent_at: ctx.now,
+                });
+            }
+            PacketKind::FinishAck(frame) => {
+                if let Some(pc) = self.pairs.get_mut(&pkt.pair) {
+                    pc.pending_finish.retain(|pf| {
+                        !(frame.seq == pf.seq && frame.all_acked(pf.n_switch_hops))
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut EdgeCtx, kind: u64) {
+        if kind == TICK {
+            self.tick(ctx);
+        }
+    }
+
+    fn on_nic_idle(&mut self, ctx: &mut EdgeCtx) {
+        self.pump(ctx);
+    }
+
+    fn on_inject(&mut self, ctx: &mut EdgeCtx, data: Box<dyn Any>) {
+        match data.downcast::<AppMsg>() {
+            Ok(msg) => self.submit(ctx, *msg),
+            Err(_) => panic!("UfabEdge received unknown injection"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

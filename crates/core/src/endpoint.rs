@@ -1,0 +1,730 @@
+//! The host transport engine shared by μFAB-E and every baseline.
+//!
+//! Each edge agent owns one [`Endpoint`]. It provides, per VM-pair:
+//!
+//! * FIFO-of-messages send queues with round-robin service across the
+//!   pair's application flows (the §4.1 scheduler's innermost level);
+//! * packetisation to the fabric MTU;
+//! * selective-repeat reliability (per-packet ACKs, cumulative edge,
+//!   timeout retransmission with Karn's rule for RTT samples);
+//! * receiver-side reassembly, duplicate suppression, delivery and FCT
+//!   recording into the shared [`metrics::Recorder`];
+//! * request/response RPC: a data stream can demand an auto-reply, which
+//!   the receiving endpoint submits on the reverse pair, inheriting the
+//!   original submission timestamp so query completion times are
+//!   end-to-end.
+//!
+//! Keeping this engine common means the evaluation measures *control
+//! plane* differences (μFAB vs. PicNIC′+WCC+Clove vs. ES+Clove), never
+//! accidental transport differences.
+
+use crate::fabric::FabricSpec;
+use metrics::recorder::{Completion, SharedRecorder};
+use netsim::packet::{AckInfo, DataInfo, Packet, PacketKind};
+use netsim::{FlowId, NodeId, PairId, Time, DATA_OVERHEAD};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+use telemetry::RateEstimator;
+
+/// Flow-id bit marking an auto-generated RPC reply.
+pub const REPLY_FLAG: u64 = 1 << 63;
+
+/// An application message to transmit on a pair.
+#[derive(Debug, Clone)]
+pub struct AppMsg {
+    /// Flow identifier (unique per message).
+    pub flow: FlowId,
+    /// Pair to send on.
+    pub pair: PairId,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// If nonzero, the receiver auto-replies with this many bytes on the
+    /// reverse pair (which must be registered in the fabric).
+    pub reply_size: u64,
+    /// Workload tag carried through to completions.
+    pub tag: u32,
+    /// Submission timestamp override (replies inherit the request's) —
+    /// `None` uses the time of `submit`.
+    pub start_at: Option<Time>,
+}
+
+impl AppMsg {
+    /// A one-way message.
+    pub fn oneway(flow: u64, pair: PairId, size: u64, tag: u32) -> Self {
+        Self {
+            flow: FlowId(flow),
+            pair,
+            size,
+            reply_size: 0,
+            tag,
+            start_at: None,
+        }
+    }
+
+    /// A request expecting a `reply_size`-byte response.
+    pub fn request(flow: u64, pair: PairId, size: u64, reply_size: u64, tag: u32) -> Self {
+        Self {
+            flow: FlowId(flow),
+            pair,
+            size,
+            reply_size,
+            tag,
+            start_at: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingMsg {
+    flow: FlowId,
+    size: u64,
+    sent: u64,
+    start: Time,
+    tag: u32,
+    reply_size: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    payload: u32,
+    sent_at: Time,
+    flow: FlowId,
+    tag: u32,
+    msg_bytes: u64,
+    flow_start: Time,
+    reply_bytes: u64,
+    retx: bool,
+    queued_retx: bool,
+}
+
+/// Sender-side per-pair transport state.
+#[derive(Debug)]
+pub struct SendState {
+    msgs: VecDeque<PendingMsg>,
+    next_seq: u64,
+    outstanding: BTreeMap<u64, Outstanding>,
+    inflight: u64,
+    retx: VecDeque<u64>,
+    backlog: u64,
+    /// Sent-payload rate (GP demand estimation).
+    pub tx_meter: RateEstimator,
+    /// Acked-payload rate (violation detection).
+    pub acked_meter: RateEstimator,
+    /// Last submit/send/ack activity.
+    pub last_activity: Time,
+}
+
+impl SendState {
+    fn new(meter_tau: Time) -> Self {
+        Self {
+            msgs: VecDeque::new(),
+            next_seq: 0,
+            outstanding: BTreeMap::new(),
+            inflight: 0,
+            retx: VecDeque::new(),
+            backlog: 0,
+            tx_meter: RateEstimator::new(meter_tau),
+            acked_meter: RateEstimator::new(meter_tau),
+            last_activity: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlowRx {
+    got: u64,
+    size: u64,
+    start: Time,
+    tag: u32,
+    reply: u64,
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct RecvState {
+    rcv_next: u64,
+    ooo: std::collections::BTreeSet<u64>,
+    flows: HashMap<FlowId, FlowRx>,
+}
+
+/// Result of processing one ACK.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AckResult {
+    /// Payload bytes newly freed from the inflight window.
+    pub freed: u64,
+    /// RTT sample (absent for retransmitted segments — Karn's rule).
+    pub rtt: Option<Time>,
+    /// Whether this ACK matched any outstanding segment.
+    pub valid: bool,
+}
+
+/// The per-host transport engine.
+pub struct Endpoint {
+    /// Host this endpoint lives on.
+    pub host: NodeId,
+    fabric: Rc<FabricSpec>,
+    recorder: SharedRecorder,
+    payload_per_pkt: u32,
+    meter_tau: Time,
+    send: HashMap<PairId, SendState>,
+    recv: HashMap<PairId, RecvState>,
+}
+
+impl Endpoint {
+    /// Create an endpoint for `host`. `mtu` is wire bytes per full data
+    /// packet; `meter_tau` the demand-estimation time constant.
+    pub fn new(
+        host: NodeId,
+        fabric: Rc<FabricSpec>,
+        recorder: SharedRecorder,
+        mtu: u32,
+        meter_tau: Time,
+    ) -> Self {
+        assert!(mtu > DATA_OVERHEAD, "MTU smaller than framing");
+        Self {
+            host,
+            fabric,
+            recorder,
+            payload_per_pkt: mtu - DATA_OVERHEAD,
+            meter_tau,
+            send: HashMap::new(),
+            recv: HashMap::new(),
+        }
+    }
+
+    /// Payload bytes per full packet.
+    pub fn payload_per_pkt(&self) -> u32 {
+        self.payload_per_pkt
+    }
+
+    /// The fabric registry.
+    pub fn fabric(&self) -> &Rc<FabricSpec> {
+        &self.fabric
+    }
+
+    /// The shared recorder.
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    fn send_state(&mut self, pair: PairId) -> &mut SendState {
+        let tau = self.meter_tau;
+        self.send.entry(pair).or_insert_with(|| SendState::new(tau))
+    }
+
+    /// Queue a message for transmission.
+    ///
+    /// # Panics
+    /// Panics if a reply is requested but the reverse pair is not
+    /// registered in the fabric.
+    pub fn submit(&mut self, now: Time, msg: AppMsg) {
+        if msg.reply_size > 0 {
+            assert!(
+                self.fabric.reverse_pair(msg.pair).is_some(),
+                "RPC on {} without a registered reverse pair",
+                msg.pair
+            );
+        }
+        let st = self.send_state(msg.pair);
+        st.backlog += msg.size;
+        st.last_activity = now;
+        st.msgs.push_back(PendingMsg {
+            flow: msg.flow,
+            size: msg.size,
+            sent: 0,
+            start: msg.start_at.unwrap_or(now),
+            tag: msg.tag,
+            reply_size: msg.reply_size,
+        });
+    }
+
+    /// True if the pair has unsent bytes or pending retransmissions.
+    pub fn has_backlog(&self, pair: PairId) -> bool {
+        self.send
+            .get(&pair)
+            .map(|s| s.backlog > 0 || !s.retx.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Unsent payload bytes queued on the pair.
+    pub fn backlog_bytes(&self, pair: PairId) -> u64 {
+        self.send.get(&pair).map(|s| s.backlog).unwrap_or(0)
+    }
+
+    /// Outstanding (sent, unacked) payload bytes.
+    pub fn inflight(&self, pair: PairId) -> u64 {
+        self.send.get(&pair).map(|s| s.inflight).unwrap_or(0)
+    }
+
+    /// Pairs with sender state (ever submitted).
+    pub fn sending_pairs(&self) -> Vec<PairId> {
+        let mut v: Vec<PairId> = self.send.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Sent-payload rate estimate (GP demand), bits/sec.
+    pub fn tx_rate_bps(&mut self, now: Time, pair: PairId) -> f64 {
+        self.send
+            .get_mut(&pair)
+            .map(|s| s.tx_meter.rate_bps(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Acked-payload (delivered) rate estimate, bits/sec.
+    pub fn delivered_rate_bps(&mut self, now: Time, pair: PairId) -> f64 {
+        self.send
+            .get_mut(&pair)
+            .map(|s| s.acked_meter.rate_bps(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Time of the pair's last send/submit/ack activity.
+    pub fn last_activity(&self, pair: PairId) -> Time {
+        self.send.get(&pair).map(|s| s.last_activity).unwrap_or(0)
+    }
+
+    /// Drop all queued (unsent) messages on a pair (workload teardown).
+    pub fn clear_backlog(&mut self, pair: PairId) {
+        if let Some(s) = self.send.get_mut(&pair) {
+            s.msgs.clear();
+            s.backlog = 0;
+        }
+    }
+
+    /// Payload size of the segment `next_segment` would produce, without
+    /// committing it, plus whether it is a retransmission (lets the WFQ
+    /// scheduler test window eligibility — a retransmission's bytes are
+    /// already counted in the inflight window and must not be double
+    /// charged, or a single loss wedges a window-full pair forever).
+    pub fn peek_segment(&self, pair: PairId) -> Option<(u32, bool)> {
+        let st = self.send.get(&pair)?;
+        for seq in &st.retx {
+            if let Some(o) = st.outstanding.get(seq) {
+                return Some((o.payload, true));
+            }
+        }
+        let msg = st.msgs.front()?;
+        Some((
+            (msg.size - msg.sent).min(self.payload_per_pkt as u64) as u32,
+            false,
+        ))
+    }
+
+    /// Produce the next data segment for `pair`, if any (retransmissions
+    /// first, then fresh data served round-robin across the pair's
+    /// messages). Returns the `DataInfo` plus the wire size; the caller
+    /// wraps it in a routed [`Packet`].
+    pub fn next_segment(&mut self, now: Time, pair: PairId) -> Option<(DataInfo, u32)> {
+        let ppp = self.payload_per_pkt;
+        let st = self.send.get_mut(&pair)?;
+        // Retransmissions first.
+        while let Some(seq) = st.retx.pop_front() {
+            if let Some(o) = st.outstanding.get_mut(&seq) {
+                o.sent_at = now;
+                o.retx = true;
+                o.queued_retx = false;
+                st.last_activity = now;
+                let info = DataInfo {
+                    seq,
+                    flow: o.flow,
+                    payload: o.payload,
+                    tag: o.tag,
+                    retx: true,
+                    msg_bytes: o.msg_bytes,
+                    flow_start: o.flow_start,
+                    reply_bytes: o.reply_bytes,
+                };
+                self.recorder.borrow_mut().retransmits += 1;
+                return Some((info, o.payload + DATA_OVERHEAD));
+            }
+            // Acked while queued for retx: skip.
+        }
+        // Fresh data.
+        let msg = st.msgs.front_mut()?;
+        let remaining = msg.size - msg.sent;
+        let payload = remaining.min(ppp as u64) as u32;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        msg.sent += payload as u64;
+        let info = DataInfo {
+            seq,
+            flow: msg.flow,
+            payload,
+            tag: msg.tag,
+            retx: false,
+            msg_bytes: msg.size,
+            flow_start: msg.start,
+            reply_bytes: msg.reply_size,
+        };
+        st.outstanding.insert(
+            seq,
+            Outstanding {
+                payload,
+                sent_at: now,
+                flow: msg.flow,
+                tag: msg.tag,
+                msg_bytes: msg.size,
+                flow_start: msg.start,
+                reply_bytes: msg.reply_size,
+                retx: false,
+                queued_retx: false,
+            },
+        );
+        st.inflight += payload as u64;
+        st.backlog -= payload as u64;
+        st.tx_meter.on_bytes(now, payload as u64);
+        st.last_activity = now;
+        let fully_sent = msg.sent >= msg.size;
+        // Round-robin across the pair's messages: rotate unfinished
+        // messages to the back, drop finished ones.
+        let m = st.msgs.pop_front().expect("peeked above");
+        if !fully_sent {
+            st.msgs.push_back(m);
+        }
+        Some((info, payload + DATA_OVERHEAD))
+    }
+
+    /// Process an ACK arriving on `pair`.
+    pub fn on_ack(&mut self, now: Time, pair: PairId, ack: &AckInfo) -> AckResult {
+        let Some(st) = self.send.get_mut(&pair) else {
+            return AckResult::default();
+        };
+        let mut freed = 0u64;
+        let mut rtt = None;
+        let mut valid = false;
+        // Cumulative edge plus the selectively acked seq.
+        let mut gone: Vec<u64> = st
+            .outstanding
+            .range(..ack.cum)
+            .map(|(&s, _)| s)
+            .collect();
+        if ack.seq >= ack.cum && st.outstanding.contains_key(&ack.seq) {
+            gone.push(ack.seq);
+        }
+        for s in gone {
+            if let Some(o) = st.outstanding.remove(&s) {
+                freed += o.payload as u64;
+                valid = true;
+                if s == ack.seq && !o.retx {
+                    rtt = Some(now.saturating_sub(ack.echo_ts));
+                }
+            }
+        }
+        if valid {
+            st.inflight = st.inflight.saturating_sub(freed);
+            st.acked_meter.on_bytes(now, freed);
+            st.last_activity = now;
+        }
+        AckResult { freed, rtt, valid }
+    }
+
+    /// Queue timed-out segments for retransmission. Returns `true` if any
+    /// segment is now waiting in the retransmit queue.
+    pub fn check_timeouts(&mut self, now: Time, pair: PairId, rto: Time) -> bool {
+        let Some(st) = self.send.get_mut(&pair) else {
+            return false;
+        };
+        for (&seq, o) in st.outstanding.iter_mut() {
+            if !o.queued_retx && now.saturating_sub(o.sent_at) >= rto {
+                o.queued_retx = true;
+                st.retx.push_back(seq);
+            }
+        }
+        !st.retx.is_empty()
+    }
+
+    /// Process an arriving data packet: update reassembly, record
+    /// delivery and completions, and return the ACK to send plus an
+    /// auto-reply to submit (if the packet completed an RPC request).
+    pub fn on_data(&mut self, now: Time, pkt: &Packet) -> (AckInfo, Option<AppMsg>) {
+        let PacketKind::Data(d) = &pkt.kind else {
+            panic!("on_data called with {}", pkt.kind.label());
+        };
+        let tenant = self.fabric.pair_tenant(pkt.pair);
+        let rx = self.recv.entry(pkt.pair).or_default();
+        let duplicate = d.seq < rx.rcv_next || rx.ooo.contains(&d.seq);
+        if !duplicate {
+            rx.ooo.insert(d.seq);
+            while rx.ooo.remove(&rx.rcv_next) {
+                rx.rcv_next += 1;
+            }
+        }
+        let mut reply = None;
+        if !duplicate {
+            let f = rx.flows.entry(d.flow).or_insert_with(|| FlowRx {
+                got: 0,
+                size: d.msg_bytes,
+                start: d.flow_start,
+                tag: d.tag,
+                reply: d.reply_bytes,
+                done: false,
+            });
+            f.got += d.payload as u64;
+            let completed = !f.done && f.size > 0 && f.got >= f.size;
+            if completed {
+                f.done = true;
+            }
+            let (start, tag, size, want_reply) = (f.start, f.tag, f.size, f.reply);
+            self.recorder
+                .borrow_mut()
+                .delivered(now, pkt.pair.raw(), tenant.raw(), d.payload as u64);
+            if completed {
+                self.recorder.borrow_mut().complete(Completion {
+                    flow: d.flow.raw(),
+                    pair: pkt.pair.raw(),
+                    bytes: size,
+                    start,
+                    end: now,
+                    tag,
+                });
+                rx.flows.remove(&d.flow);
+                if want_reply > 0 {
+                    let rev = self
+                        .fabric
+                        .reverse_pair(pkt.pair)
+                        .expect("reply without reverse pair");
+                    reply = Some(AppMsg {
+                        flow: FlowId(d.flow.raw() | REPLY_FLAG),
+                        pair: rev,
+                        size: want_reply,
+                        reply_size: 0,
+                        tag,
+                        start_at: Some(start),
+                    });
+                }
+            }
+        }
+        let ack = AckInfo {
+            seq: d.seq,
+            cum: rx.rcv_next,
+            echo_ts: pkt.sent_at,
+            ecn: pkt.ecn,
+            max_util: pkt.max_util,
+            grant_bps: 0.0,
+            payload: d.payload,
+        };
+        (ack, reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::recorder;
+    use netsim::{PortNo, TenantId, US};
+
+    fn fabric() -> (Rc<FabricSpec>, PairId, PairId) {
+        let mut f = FabricSpec::new(1e9);
+        let t = f.add_tenant("t", 1.0);
+        let a = f.add_vm(t, NodeId(0));
+        let b = f.add_vm(t, NodeId(1));
+        let (ab, ba) = f.add_pair_bidir(a, b);
+        (Rc::new(f), ab, ba)
+    }
+
+    fn endpoint(host: NodeId, f: &Rc<FabricSpec>) -> Endpoint {
+        Endpoint::new(
+            host,
+            Rc::clone(f),
+            recorder::shared(metrics::MS),
+            1500,
+            100 * US,
+        )
+    }
+
+    fn wrap(src: NodeId, dst: NodeId, pair: PairId, d: DataInfo, sent_at: Time) -> Packet {
+        Packet {
+            src,
+            dst,
+            pair,
+            tenant: TenantId(0),
+            size: d.payload + DATA_OVERHEAD,
+            kind: PacketKind::Data(d),
+            route: vec![PortNo(0)],
+            hop: 0,
+            ecn: false,
+            max_util: 0.0,
+            sent_at,
+        }
+    }
+
+    #[test]
+    fn packetises_and_completes() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(0, AppMsg::oneway(1, ab, 3000, 7));
+        assert!(tx.has_backlog(ab));
+        assert_eq!(tx.backlog_bytes(ab), 3000);
+        let mut segs = Vec::new();
+        while let Some((d, size)) = tx.next_segment(10, ab) {
+            assert!(size <= 1500);
+            segs.push(d);
+        }
+        // 3000 B at 1442 B payload per packet = 3 segments.
+        assert_eq!(segs.len(), 3);
+        assert_eq!(tx.inflight(ab), 3000);
+        assert!(!tx.has_backlog(ab));
+        let mut completions = 0;
+        for d in segs {
+            let (ack, reply) = rx.on_data(100, &wrap(NodeId(0), NodeId(1), ab, d, 10));
+            assert!(reply.is_none());
+            let res = tx.on_ack(110, ab, &ack);
+            assert!(res.valid);
+            completions += rx.recorder().borrow_mut().drain_new_completions().len();
+        }
+        assert_eq!(completions, 1);
+        assert_eq!(tx.inflight(ab), 0);
+        let rec = rx.recorder().borrow();
+        assert_eq!(rec.completions.len(), 1);
+        assert_eq!(rec.completions[0].bytes, 3000);
+        assert_eq!(rec.completions[0].tag, 7);
+        assert_eq!(rec.completions[0].start, 0);
+        assert_eq!(rec.completions[0].end, 100);
+    }
+
+    #[test]
+    fn rpc_auto_reply_inherits_start() {
+        let (f, ab, ba) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(50, AppMsg::request(2, ab, 100, 4000, 9));
+        let (d, _) = tx.next_segment(60, ab).unwrap();
+        let (_, reply) = rx.on_data(200, &wrap(NodeId(0), NodeId(1), ab, d, 60));
+        let reply = reply.expect("reply expected");
+        assert_eq!(reply.pair, ba);
+        assert_eq!(reply.size, 4000);
+        assert_eq!(reply.flow.raw(), 2 | REPLY_FLAG);
+        assert_eq!(reply.start_at, Some(50));
+        assert_eq!(reply.tag, 9);
+    }
+
+    #[test]
+    fn duplicate_data_not_double_counted() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(0, AppMsg::oneway(3, ab, 1000, 0));
+        let (d, _) = tx.next_segment(0, ab).unwrap();
+        let p = wrap(NodeId(0), NodeId(1), ab, d, 0);
+        let _ = rx.on_data(10, &p);
+        let (ack2, _) = rx.on_data(20, &p); // duplicate
+        assert_eq!(ack2.cum, 1);
+        let rec = rx.recorder().borrow();
+        assert_eq!(rec.completions.len(), 1);
+        assert_eq!(rec.delivered_bytes, 1000);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(0, AppMsg::oneway(4, ab, 4000, 0));
+        let mut segs = Vec::new();
+        while let Some((d, _)) = tx.next_segment(0, ab) {
+            segs.push(d);
+        }
+        segs.reverse(); // deliver backwards
+        let mut last_cum = 0;
+        for d in &segs {
+            let (ack, _) = rx.on_data(10, &wrap(NodeId(0), NodeId(1), ab, *d, 0));
+            last_cum = ack.cum;
+        }
+        assert_eq!(last_cum, segs.len() as u64);
+        assert_eq!(rx.recorder().borrow().completions.len(), 1);
+    }
+
+    #[test]
+    fn timeout_retransmission_and_karn() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(0, AppMsg::oneway(5, ab, 1000, 0));
+        let (d0, _) = tx.next_segment(0, ab).unwrap();
+        // Packet lost; RTO at 100us.
+        assert!(!tx.check_timeouts(50 * US, ab, 100 * US));
+        assert!(tx.check_timeouts(150 * US, ab, 100 * US));
+        let (d1, _) = tx.next_segment(150 * US, ab).unwrap();
+        assert!(d1.retx);
+        assert_eq!(d1.seq, d0.seq);
+        // Inflight unchanged by a retransmission.
+        assert_eq!(tx.inflight(ab), 1000);
+        let (ack, _) = rx.on_data(200 * US, &wrap(NodeId(0), NodeId(1), ab, d1, 150 * US));
+        let res = tx.on_ack(210 * US, ab, &ack);
+        assert!(res.valid);
+        assert_eq!(res.freed, 1000);
+        // Karn: no RTT sample from a retransmitted segment.
+        assert!(res.rtt.is_none());
+        // The retransmission was counted on the sender's recorder.
+        assert_eq!(tx.recorder().borrow().retransmits, 1);
+        assert_eq!(tx.inflight(ab), 0);
+    }
+
+    #[test]
+    fn cumulative_ack_frees_backlog() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        tx.submit(0, AppMsg::oneway(6, ab, 5000, 0));
+        let mut last = None;
+        while let Some((d, _)) = tx.next_segment(0, ab) {
+            last = Some(d);
+        }
+        let last = last.unwrap();
+        // One ACK with cum = last.seq + 1 clears everything.
+        let ack = AckInfo {
+            seq: last.seq,
+            cum: last.seq + 1,
+            echo_ts: 0,
+            ecn: false,
+            max_util: 0.0,
+            grant_bps: 0.0,
+            payload: last.payload,
+        };
+        let res = tx.on_ack(100, ab, &ack);
+        assert_eq!(res.freed, 5000);
+        assert!(res.rtt.is_some());
+        assert_eq!(tx.inflight(ab), 0);
+    }
+
+    #[test]
+    fn flow_round_robin_interleaves_messages() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        tx.submit(0, AppMsg::oneway(10, ab, 5000, 0));
+        tx.submit(0, AppMsg::oneway(11, ab, 5000, 0));
+        let mut flows = Vec::new();
+        for _ in 0..4 {
+            let (d, _) = tx.next_segment(0, ab).unwrap();
+            flows.push(d.flow.raw());
+        }
+        assert_eq!(flows, vec![10, 11, 10, 11]);
+    }
+
+    #[test]
+    fn clear_backlog_stops_sending() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        tx.submit(0, AppMsg::oneway(12, ab, 1_000_000, 0));
+        let _ = tx.next_segment(0, ab);
+        tx.clear_backlog(ab);
+        assert!(!tx.has_backlog(ab));
+        assert!(tx.next_segment(0, ab).is_none());
+        // Outstanding segment still tracked.
+        assert!(tx.inflight(ab) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse pair")]
+    fn rpc_without_reverse_pair_rejected() {
+        let mut f = FabricSpec::new(1e9);
+        let t = f.add_tenant("t", 1.0);
+        let a = f.add_vm(t, NodeId(0));
+        let b = f.add_vm(t, NodeId(1));
+        let ab = f.add_pair(a, b); // one direction only
+        let f = Rc::new(f);
+        let mut tx = endpoint(NodeId(0), &f);
+        tx.submit(0, AppMsg::request(1, ab, 10, 10, 0));
+    }
+}

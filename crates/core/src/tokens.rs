@@ -1,0 +1,305 @@
+//! Guarantee-Partitioning token assignment (Appendix E, Algorithm 1) and
+//! the multipath token split (Appendix F, Algorithm 2).
+//!
+//! Every token update period (32 μs) each host partitions a VM's hose
+//! tokens φ^a across its active VM-pairs:
+//!
+//! * the **sender** apportions tokens to fully use its hose, conveying the
+//!   assignment as demand to receivers via probes;
+//! * the **receiver** arbitrates incoming demands with max-min fair
+//!   sharing and returns the admitted tokens in probe responses;
+//! * the effective pair token is `min(sender, receiver)` (§3.2).
+//!
+//! μFAB's variant (vs. ElasticSwitch's GP) assigns *at least the fair
+//! share* even to pairs with insufficient demand, so a pair with a sudden
+//! demand burst can grow immediately; the worst case puts only double the
+//! VM's tokens into the network for one RTT (Appendix E).
+
+/// Per-pair view the sender-side assignment works on.
+#[derive(Debug, Clone, Copy)]
+pub struct PairTokens {
+    /// Measured TX rate of the pair (bits/sec) over the last epoch.
+    pub tx_bps: f64,
+    /// Receiver-admitted tokens from the most recent response
+    /// (`f64::INFINITY` when the receiver has not constrained the pair).
+    pub phi_r: f64,
+    /// Output: sender-assigned tokens φ_s.
+    pub phi_s: f64,
+}
+
+impl PairTokens {
+    /// A pair with measured rate `tx_bps` and receiver feedback `phi_r`.
+    pub fn new(tx_bps: f64, phi_r: f64) -> Self {
+        Self {
+            tx_bps,
+            phi_r,
+            phi_s: 0.0,
+        }
+    }
+}
+
+/// Algorithm 1, `TokenAssignment` (sender side): distribute a VM's hose
+/// tokens `phi_vm` across its active pairs.
+///
+/// Pairs with insufficient demand (`tx/B_u` below the fair share) still
+/// receive the fair share (demand-growth boost); their spare capacity is
+/// redistributed, first honouring receiver bounds in ascending order, and
+/// the remainder goes to unbounded pairs.
+pub fn token_assignment(phi_vm: f64, bu_bps: f64, pairs: &mut [PairTokens]) {
+    let ns = pairs.len();
+    if ns == 0 {
+        return;
+    }
+    for p in pairs.iter_mut() {
+        p.phi_s = 0.0;
+    }
+    let mut fair = phi_vm / ns as f64;
+    let mut spare = 0.0;
+    let mut n_demand_bounded = 0usize;
+    for p in pairs.iter_mut() {
+        let demand_tokens = p.tx_bps / bu_bps;
+        if fair > demand_tokens {
+            spare += fair - demand_tokens;
+            // Bounded by demand, but the sender still admits the fair
+            // share so the pair can ramp instantly (Line 7).
+            p.phi_s = fair;
+            n_demand_bounded += 1;
+        }
+    }
+    let remaining = ns - n_demand_bounded;
+    if remaining == 0 {
+        return; // everyone demand-bounded; all hold the fair share
+    }
+    fair += spare / remaining as f64;
+    // Receiver-bounded pass, ascending φ_r (progressive filling).
+    let mut order: Vec<usize> = (0..ns).collect();
+    order.sort_by(|&a, &b| {
+        pairs[a]
+            .phi_r
+            .partial_cmp(&pairs[b].phi_r)
+            .expect("NaN token")
+    });
+    let mut n_rx_bounded = 0usize;
+    for &i in &order {
+        let p = &mut pairs[i];
+        if p.phi_s == 0.0 && p.phi_r < fair {
+            n_rx_bounded += 1;
+            let left = remaining - n_rx_bounded;
+            if left > 0 {
+                fair += (fair - p.phi_r) / left as f64;
+            }
+            p.phi_s = p.phi_r;
+        }
+    }
+    for p in pairs.iter_mut() {
+        if p.phi_s == 0.0 {
+            p.phi_s = fair;
+        }
+    }
+}
+
+/// Algorithm 1, `TokenAdmission` (receiver side): arbitrate incoming
+/// sender demands `phi_s` against the receiving VM's hose `phi_vm` with
+/// max-min fair sharing.
+///
+/// Returns the admitted tokens φ_p per pair, in input order. Pairs whose
+/// demand sits below the running fair share are *unbounded*
+/// (`f64::INFINITY`, the paper's `UNBOUND`): the receiver imposes no cap,
+/// letting the sender grow within its own assignment.
+pub fn token_admission(phi_vm: f64, demands: &[f64]) -> Vec<f64> {
+    let nr = demands.len();
+    if nr == 0 {
+        return Vec::new();
+    }
+    let mut fair = phi_vm / nr as f64;
+    let mut order: Vec<usize> = (0..nr).collect();
+    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("NaN demand"));
+    let mut out = vec![0.0f64; nr];
+    let mut n_bounded = 0usize;
+    for &i in &order {
+        if demands[i] < fair {
+            out[i] = f64::INFINITY;
+            n_bounded += 1;
+            let left = nr - n_bounded;
+            if left > 0 {
+                fair += (fair - demands[i]) / left as f64;
+            }
+        } else {
+            out[i] = fair;
+        }
+    }
+    out
+}
+
+/// Per-path view for the multipath split.
+#[derive(Debug, Clone, Copy)]
+pub struct PathTokens {
+    /// Measured TX rate on the path (bits/sec).
+    pub tx_bps: f64,
+    /// Output: tokens assigned to the path.
+    pub phi: f64,
+}
+
+/// Algorithm 2, `MultipathAssignment`: split a pair's sender tokens
+/// `phi_pair` across its underlay paths — equal split for fairness, spare
+/// capacity of under-demanded paths redistributed for work conservation,
+/// every path keeping at least the fair share to boost demand growth.
+pub fn multipath_assignment(phi_pair: f64, bu_bps: f64, paths: &mut [PathTokens]) {
+    let np = paths.len();
+    if np == 0 {
+        return;
+    }
+    let fair = phi_pair / np as f64;
+    let mut spare = 0.0;
+    let mut n_bounded = 0usize;
+    for l in paths.iter_mut() {
+        l.phi = 0.0;
+    }
+    for l in paths.iter_mut() {
+        if fair > l.tx_bps / bu_bps {
+            spare += fair - l.tx_bps / bu_bps;
+            l.phi = fair; // boost demand growth
+            n_bounded += 1;
+        }
+    }
+    let left = np - n_bounded;
+    for l in paths.iter_mut() {
+        if l.phi == 0.0 {
+            l.phi = fair + spare / left as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BU: f64 = 500e6;
+
+    fn phis(pairs: &[PairTokens]) -> Vec<f64> {
+        pairs.iter().map(|p| p.phi_s).collect()
+    }
+
+    #[test]
+    fn sufficient_demand_splits_equally() {
+        // Fig 21a, sender a0 with three pairs, all hungry: φ/3 each.
+        let mut ps = vec![PairTokens::new(10e9, f64::INFINITY); 3];
+        token_assignment(9.0, BU, &mut ps);
+        for p in &ps {
+            assert!((p.phi_s - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn receiver_admission_matches_fig21a() {
+        // Receiver a7 with hose φ = 9 tokens gets demands {3, 9}
+        // (a0 sends φ/3 of 9, a4 sends φ = 9). Max-min: a0's demand 3 <
+        // fair 4.5 → unbounded; a4 gets 9 − 3 = 6.
+        let admitted = token_admission(9.0, &[3.0, 9.0]);
+        assert!(admitted[0].is_infinite());
+        assert!((admitted[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_demand_redistributes_but_keeps_fair_share() {
+        // Fig 21b: one of three pairs wants only ε; it keeps the fair
+        // share (growth boost) while the spare goes to the other two.
+        let eps_bps = 0.1 * BU; // ε = 0.1 tokens of demand
+        let mut ps = vec![
+            PairTokens::new(eps_bps, f64::INFINITY),
+            PairTokens::new(10e9, f64::INFINITY),
+            PairTokens::new(10e9, f64::INFINITY),
+        ];
+        token_assignment(9.0, BU, &mut ps);
+        // Bounded pair still holds φ̄ = 3.
+        assert!((ps[0].phi_s - 3.0).abs() < 1e-9);
+        // Others split 3 + (3 − 0.1)/2 = 4.45 each.
+        assert!((ps[1].phi_s - 4.45).abs() < 1e-9);
+        assert!((ps[2].phi_s - 4.45).abs() < 1e-9);
+        // Worst case ≤ 2×φ^a total (Appendix E claim).
+        let total: f64 = phis(&ps).iter().sum();
+        assert!(total <= 2.0 * 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn receiver_bound_respected() {
+        // Two hungry pairs, but the receiver of pair 0 admits only 1.
+        let mut ps = vec![
+            PairTokens::new(10e9, 1.0),
+            PairTokens::new(10e9, f64::INFINITY),
+        ];
+        token_assignment(8.0, BU, &mut ps);
+        assert!((ps[0].phi_s - 1.0).abs() < 1e-9);
+        // The slack flows to pair 1: 4 + (4−1) = 7.
+        assert!((ps[1].phi_s - 7.0).abs() < 1e-9);
+        let total: f64 = phis(&ps).iter().sum();
+        assert!((total - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_demand_bounded_keeps_fair_shares() {
+        let mut ps = vec![PairTokens::new(0.0, f64::INFINITY); 4];
+        token_assignment(8.0, BU, &mut ps);
+        for p in &ps {
+            assert!((p.phi_s - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        token_assignment(8.0, BU, &mut []);
+        assert!(token_admission(8.0, &[]).is_empty());
+        multipath_assignment(8.0, BU, &mut []);
+    }
+
+    #[test]
+    fn admission_progressive_filling() {
+        // Demands {1, 2, 10, 10} on hose 12: fair starts 3; 1 and 2 are
+        // unbounded; the rest share (12−3)/2 = 4.5.
+        let a = token_admission(12.0, &[1.0, 2.0, 10.0, 10.0]);
+        assert!(a[0].is_infinite());
+        assert!(a[1].is_infinite());
+        assert!((a[2] - 4.5).abs() < 1e-9);
+        assert!((a[3] - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_all_hungry_equal() {
+        let a = token_admission(10.0, &[100.0, 100.0]);
+        assert!((a[0] - 5.0).abs() < 1e-9);
+        assert!((a[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_spare_redistribution() {
+        // 3 paths, path 0 can only carry 0.5 tokens worth of traffic.
+        let mut ls = vec![
+            PathTokens {
+                tx_bps: 0.5 * BU,
+                phi: 0.0,
+            },
+            PathTokens {
+                tx_bps: 10e9,
+                phi: 0.0,
+            },
+            PathTokens {
+                tx_bps: 10e9,
+                phi: 0.0,
+            },
+        ];
+        multipath_assignment(6.0, BU, &mut ls);
+        assert!((ls[0].phi - 2.0).abs() < 1e-9); // fair share kept
+        assert!((ls[1].phi - 2.75).abs() < 1e-9); // 2 + 1.5/2
+        assert!((ls[2].phi - 2.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_single_path_gets_all() {
+        let mut ls = vec![PathTokens {
+            tx_bps: 0.0,
+            phi: 0.0,
+        }];
+        multipath_assignment(5.0, BU, &mut ls);
+        assert_eq!(ls[0].phi, 5.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Unit-level tests of the μFAB-E agent, driven through a standalone
+//! `EdgeCtx` (no simulator): activation, probing, registration,
+//! response handling, idle deregistration.
+
+use metrics::recorder;
+use netsim::agent::{EdgeAgent, EdgeCtx, Effects, NicView};
+use netsim::packet::{Packet, PacketKind};
+use netsim::{NodeId, MS, US};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+use telemetry::{HopInfo, ProbeKind};
+use topology::{dumbbell, Topo};
+use ufab::endpoint::AppMsg;
+use ufab::{FabricSpec, UfabConfig, UfabEdge};
+
+struct Harness {
+    agent: UfabEdge,
+    rng: SmallRng,
+    now: u64,
+    host: NodeId,
+}
+
+impl Harness {
+    fn new() -> (Self, netsim::PairId) {
+        let topo = dumbbell(1, 10, 10);
+        let host = topo.hosts[0];
+        let dst = topo.hosts[1];
+        let mut fabric = FabricSpec::new(500e6);
+        let t = fabric.add_tenant("t", 2.0);
+        let a = fabric.add_vm(t, host);
+        let b = fabric.add_vm(t, dst);
+        let pair = fabric.add_pair(a, b);
+        let topo: Rc<Topo> = Rc::new(topo);
+        let agent = UfabEdge::new(
+            UfabConfig::default(),
+            Rc::clone(&topo),
+            Rc::new(fabric),
+            recorder::shared(MS),
+            host,
+        );
+        (
+            Self {
+                agent,
+                rng: SmallRng::seed_from_u64(1),
+                now: 0,
+                host,
+            },
+            pair,
+        )
+    }
+
+    fn with_ctx<R>(&mut self, f: impl FnOnce(&mut UfabEdge, &mut EdgeCtx) -> R) -> (R, Effects) {
+        let mut fx = Effects::new();
+        let nic = NicView {
+            queue_pkts: 0,
+            queue_bytes: 0,
+            busy: false,
+            cap_bps: 10_000_000_000,
+        };
+        let r = {
+            let mut ctx = EdgeCtx::standalone(self.now, self.host, nic, &mut self.rng, &mut fx);
+            f(&mut self.agent, &mut ctx)
+        };
+        (r, fx)
+    }
+}
+
+#[test]
+fn activation_registers_and_sends_data() {
+    let (mut h, pair) = Harness::new();
+    let ((), fx) = h.with_ctx(|a, ctx| a.submit(ctx, AppMsg::oneway(1, pair, 100_000, 0)));
+    let sends = fx.sends();
+    // A registering probe plus up to two data packets (NIC budget).
+    let probes: Vec<_> = sends
+        .iter()
+        .filter_map(|p| match &p.kind {
+            PacketKind::Probe(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(probes.len(), 1, "one registering probe on the single path");
+    assert!(probes[0].registering);
+    assert!(probes[0].epoch > 0);
+    assert!(probes[0].phi > 0.0);
+    let data = sends
+        .iter()
+        .filter(|p| matches!(p.kind, PacketKind::Data(_)))
+        .count();
+    assert!(data >= 1 && data <= 2, "data sends {data}");
+    assert!(h.agent.window_of(pair).unwrap() > 0.0);
+    assert_eq!(h.agent.is_active(pair), Some(true));
+}
+
+#[test]
+fn response_updates_window_from_eqn3() {
+    let (mut h, pair) = Harness::new();
+    let (_, fx) = h.with_ctx(|a, ctx| a.submit(ctx, AppMsg::oneway(1, pair, 10_000_000, 0)));
+    let probe_pkt = fx
+        .sends()
+        .iter()
+        .find(|p| matches!(p.kind, PacketKind::Probe(_)))
+        .unwrap()
+        .clone();
+    let PacketKind::Probe(frame) = &probe_pkt.kind else {
+        unreachable!()
+    };
+    // Forge the response: an uncongested 10G link with only this pair.
+    let mut resp = frame.clone().into_response(f64::INFINITY);
+    resp.hops.push(HopInfo {
+        node: 2,
+        port: 0,
+        w_total: frame.w,
+        phi_total: frame.phi,
+        tx_bps: 1e9,
+        q_bytes: 0,
+        cap_bps: 10_000_000_000,
+    });
+    assert_eq!(resp.kind, ProbeKind::Response);
+    let before = h.agent.claim_of(pair).unwrap();
+    h.now += 30 * US;
+    let pkt = Packet {
+        src: probe_pkt.dst,
+        dst: probe_pkt.src,
+        pair,
+        tenant: probe_pkt.tenant,
+        size: 90,
+        kind: PacketKind::Response(resp),
+        route: vec![],
+        hop: 0,
+        ecn: false,
+        max_util: 0.0,
+        sent_at: 0,
+    };
+    h.with_ctx(|a, ctx| a.on_packet(ctx, pkt));
+    let after = h.agent.claim_of(pair).unwrap();
+    // Idle link with a single occupant: the claim grows toward the cap.
+    assert!(after > before, "claim should grow: {before} -> {after}");
+}
+
+#[test]
+fn idle_pair_sends_finish_and_deactivates() {
+    let (mut h, pair) = Harness::new();
+    // A tiny message that is fully sent immediately.
+    let (_, _fx) = h.with_ctx(|a, ctx| a.submit(ctx, AppMsg::oneway(1, pair, 500, 0)));
+    // Pretend the single data packet got acked so the pair drains.
+    let ack = Packet {
+        src: NodeId(1),
+        dst: h.host,
+        pair,
+        tenant: netsim::TenantId(0),
+        size: 64,
+        kind: PacketKind::Ack(netsim::packet::AckInfo {
+            seq: 0,
+            cum: 1,
+            echo_ts: 0,
+            ecn: false,
+            max_util: 0.0,
+            grant_bps: 0.0,
+            payload: 500,
+        }),
+        route: vec![],
+        hop: 0,
+        ecn: false,
+        max_util: 0.0,
+        sent_at: 0,
+    };
+    h.now += 10 * US;
+    h.with_ctx(|a, ctx| a.on_packet(ctx, ack));
+    // Advance past the idle_finish threshold and run control ticks.
+    h.now += 2 * MS;
+    let (_, fx) = h.with_ctx(|a, ctx| a.on_timer(ctx, 1));
+    let finishes = fx
+        .sends()
+        .iter()
+        .filter(|p| matches!(p.kind, PacketKind::Finish(_)))
+        .count();
+    assert_eq!(finishes, 1, "idle pair must deregister with a finish probe");
+    assert_eq!(h.agent.is_active(pair), Some(false));
+    // Resubmitting reactivates with a fresh registration epoch.
+    let (_, fx) = h.with_ctx(|a, ctx| a.submit(ctx, AppMsg::oneway(2, pair, 1000, 0)));
+    let reg = fx
+        .sends()
+        .iter()
+        .filter_map(|p| match &p.kind {
+            PacketKind::Probe(f) if f.registering => Some(f.epoch),
+            _ => None,
+        })
+        .next()
+        .expect("re-registration probe");
+    assert!(reg >= 2, "epoch must advance on re-registration");
+    assert_eq!(h.agent.is_active(pair), Some(true));
+}
+
+#[test]
+fn received_probe_is_answered_with_admitted_tokens() {
+    // The harness host also acts as a destination: a probe arriving for an
+    // incoming pair must be answered with a Response carrying rx tokens.
+    let (mut h, _pair) = Harness::new();
+    let frame = telemetry::ProbeFrame::probe(7, 0, 3.0, 10_000.0, 0);
+    let pkt = Packet {
+        src: NodeId(1),
+        dst: h.host,
+        pair: netsim::PairId(7),
+        tenant: netsim::TenantId(0),
+        size: 90,
+        kind: PacketKind::Probe(frame),
+        route: vec![netsim::PortNo(0), netsim::PortNo(0)],
+        hop: 2,
+        ecn: false,
+        max_util: 0.0,
+        sent_at: 0,
+    };
+    let (_, fx) = h.with_ctx(|a, ctx| a.on_packet(ctx, pkt));
+    let resp = fx
+        .sends()
+        .iter()
+        .find_map(|p| match &p.kind {
+            PacketKind::Response(f) => Some(f.clone()),
+            _ => None,
+        })
+        .expect("a response must go back");
+    assert_eq!(resp.pair, 7);
+    assert!(resp.rx_phi.is_some());
+}

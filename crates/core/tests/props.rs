@@ -1,0 +1,130 @@
+//! Property-based tests on μFAB's allocation invariants.
+
+use proptest::prelude::*;
+use ufab::theory::{weighted_max_min, TheoryFlow};
+use ufab::tokens::{multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens};
+
+const BU: f64 = 500e6;
+
+proptest! {
+    /// Sender-side token assignment: every pair gets a non-negative
+    /// assignment of at least the fair share when hungry; the total never
+    /// exceeds twice the hose (Appendix E's worst-case claim).
+    #[test]
+    fn assignment_bounded_and_fair(
+        phi_vm in 0.5f64..64.0,
+        demands in prop::collection::vec(0.0f64..20e9, 1..24),
+        rx in prop::collection::vec(0.1f64..1e6, 1..24),
+    ) {
+        let n = demands.len().min(rx.len());
+        let mut pairs: Vec<PairTokens> = (0..n)
+            .map(|i| PairTokens::new(demands[i], if rx[i] > 1e5 { f64::INFINITY } else { rx[i] }))
+            .collect();
+        token_assignment(phi_vm, BU, &mut pairs);
+        let fair = phi_vm / n as f64;
+        let total: f64 = pairs.iter().map(|p| p.phi_s).sum();
+        for p in &pairs {
+            prop_assert!(p.phi_s >= 0.0);
+            // Demand-bounded pairs still hold at least the fair share
+            // (growth boost); receiver-bounded pairs hold their bound.
+            prop_assert!(p.phi_s >= fair.min(p.phi_r) - 1e-9);
+        }
+        prop_assert!(total <= 2.0 * phi_vm + 1e-6, "total {total} > 2φ");
+    }
+
+    /// Receiver admission is max-min: admitted values are non-negative,
+    /// the bounded ones sum with the final fair share to exactly the hose
+    /// (when every pair is constrained), and no finite admission exceeds
+    /// the largest demand.
+    #[test]
+    fn admission_is_max_min(
+        phi_vm in 0.5f64..64.0,
+        demands in prop::collection::vec(0.01f64..100.0, 1..24),
+    ) {
+        let admitted = token_admission(phi_vm, &demands);
+        prop_assert_eq!(admitted.len(), demands.len());
+        // Unbounded (infinite) admissions correspond to demands under the
+        // running fair share; finite ones all equal the final fair level.
+        let finite: Vec<f64> = admitted.iter().copied().filter(|a| a.is_finite()).collect();
+        for w in finite.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-6, "finite admissions unequal");
+        }
+        // Conservation: satisfied demands + finite admissions ≤ hose + ε.
+        let used: f64 = admitted
+            .iter()
+            .zip(&demands)
+            .map(|(&a, &d)| if a.is_finite() { a } else { d })
+            .sum();
+        if admitted.iter().any(|a| a.is_finite()) {
+            prop_assert!(used <= phi_vm * (1.0 + 1e-6), "used {used} > hose {phi_vm}");
+        }
+    }
+
+    /// Multipath split conserves the pair token exactly when some path is
+    /// unbounded, and every path keeps at least the fair share.
+    #[test]
+    fn multipath_conserves(
+        phi in 0.5f64..64.0,
+        txs in prop::collection::vec(0.0f64..20e9, 1..8),
+    ) {
+        let mut paths: Vec<PathTokens> = txs.iter().map(|&t| PathTokens { tx_bps: t, phi: 0.0 }).collect();
+        multipath_assignment(phi, BU, &mut paths);
+        let fair = phi / paths.len() as f64;
+        for p in &paths {
+            prop_assert!(p.phi >= fair - 1e-9);
+        }
+        let total: f64 = paths.iter().map(|p| p.phi).sum();
+        prop_assert!(total <= 2.0 * phi + 1e-6);
+    }
+
+    /// Weighted max-min never overloads a link, and every flow is either
+    /// demand-satisfied or bottlenecked at a saturated link.
+    #[test]
+    fn max_min_feasible_and_bottlenecked(
+        caps in prop::collection::vec(1e9f64..100e9, 1..6),
+        flows in prop::collection::vec(
+            (0.1f64..16.0, prop::collection::hash_set(0usize..6, 1..4), 1e6f64..200e9),
+            1..12,
+        ),
+    ) {
+        let n_links = caps.len();
+        let flows: Vec<TheoryFlow> = flows
+            .into_iter()
+            .map(|(w, links, d)| {
+                let mut ls: Vec<usize> = links.into_iter().map(|l| l % n_links).collect();
+                ls.sort_unstable();
+                ls.dedup();
+                TheoryFlow {
+                    weight: w,
+                    links: ls,
+                    demand: d,
+                }
+            })
+            .collect();
+        let rates = weighted_max_min(&caps, &flows);
+        // Feasibility.
+        for l in 0..n_links {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.links.contains(&l))
+                .map(|(_, r)| *r)
+                .sum();
+            prop_assert!(load <= caps[l] * (1.0 + 1e-9), "link {l} overloaded");
+        }
+        // Max-min: each flow is demand-capped or crosses a saturated link.
+        for (i, f) in flows.iter().enumerate() {
+            let satisfied = rates[i] >= f.demand * (1.0 - 1e-9);
+            let bottlenecked = f.links.iter().any(|&l| {
+                let load: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(g, _)| g.links.contains(&l))
+                    .map(|(_, r)| *r)
+                    .sum();
+                load >= caps[l] * (1.0 - 1e-9)
+            });
+            prop_assert!(satisfied || bottlenecked, "flow {i} neither satisfied nor bottlenecked");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! `repro` — regenerate the paper's evaluation figures and tables.
+//!
+//! ```text
+//! repro [SCENARIO...] [--full] [--seed N] [--servers N]
+//!
+//! SCENARIO ∈ fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b fig16
+//!            fig17 fig18ab fig18c fig20 table3 table4 tokens all
+//! ```
+//!
+//! Default (no scenario): `all` in quick mode. `--full` runs paper-scale
+//! parameters (slower). CSV mirrors land in `results/`.
+
+use experiments::scenarios::{
+    ablation, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig20, fig4,
+    fig5, tables, tokens_demo,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => scale.quick = false,
+            "--quick" => scale.quick = true,
+            "--seed" => {
+                scale.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--servers" => {
+                scale.servers = Some(
+                    it.next()
+                        .expect("--servers needs a value")
+                        .parse()
+                        .expect("servers must be an integer"),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N]\n\
+                     scenarios: fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b \
+                     fig16 fig17 fig18ab fig18c fig20 table3 table4 tokens ablate all"
+                );
+                return;
+            }
+            s if s.starts_with("--") => panic!("unknown flag {s}"),
+            s => scenarios.push(s.to_string()),
+        }
+    }
+    if scenarios.is_empty() {
+        scenarios.push("all".to_string());
+    }
+    let all = scenarios.iter().any(|s| s == "all");
+    let want = |name: &str| all || scenarios.iter().any(|s| s == name);
+
+    let t0 = std::time::Instant::now();
+    if want("tokens") {
+        tokens_demo::run();
+    }
+    if want("table3") {
+        tables::table3();
+    }
+    if want("table4") {
+        tables::table4();
+    }
+    if want("fig4") {
+        fig4::run(scale);
+    }
+    if want("fig5") {
+        fig5::run(scale);
+    }
+    if want("fig11") {
+        fig11::run(scale);
+    }
+    if want("fig12") {
+        fig12::run(scale);
+    }
+    if want("fig13") {
+        fig13::run(scale);
+    }
+    if want("fig14") {
+        fig14::run(scale);
+    }
+    if want("fig15a") {
+        fig15::run_a(scale);
+    }
+    if want("fig15b") {
+        fig15::run_b(scale);
+    }
+    if want("fig16") {
+        fig16::run(scale);
+    }
+    if want("fig17") {
+        fig17::run(scale);
+    }
+    if want("fig18ab") {
+        fig18::run_ab(scale);
+    }
+    if want("fig18c") {
+        fig18::run_c(scale);
+    }
+    if want("fig20") {
+        fig20::run(scale);
+    }
+    if want("ablate") {
+        ablation::run(scale);
+    }
+    eprintln!("\n[repro finished in {:.1}s]", t0.elapsed().as_secs_f64());
+}

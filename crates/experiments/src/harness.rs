@@ -1,0 +1,391 @@
+//! Simulator assembly and the experiment run loop.
+
+use baselines::edge::{BaselineCfg, BaselineEdge};
+use metrics::recorder::{self, SharedRecorder};
+use metrics::Percentiles;
+use netsim::{NodeId, PairId, PortNo, Simulator, Time, MS, US};
+use std::rc::Rc;
+use topology::Topo;
+use ufab::endpoint::AppMsg;
+use ufab::{FabricSpec, UfabConfig, UfabCore, UfabEdge};
+use workloads::driver::{Driver, WorkloadPort};
+
+/// Which system runs on the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// μFAB with the two-stage bounded-latency admission.
+    Ufab,
+    /// μFAB′ — the ablation without the latency bound (Fig 12/16).
+    UfabPrime,
+    /// PicNIC′ + weighted congestion control + Clove.
+    Pwc,
+    /// ElasticSwitch + Clove.
+    EsClove,
+}
+
+impl SystemKind {
+    /// Label used in the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Ufab => "uFAB",
+            SystemKind::UfabPrime => "uFAB'",
+            SystemKind::Pwc => "PicNIC'+WCC+Clove",
+            SystemKind::EsClove => "ES+Clove",
+        }
+    }
+
+    /// The three headline systems compared in most figures.
+    pub fn headline() -> [SystemKind; 3] {
+        [SystemKind::Pwc, SystemKind::EsClove, SystemKind::Ufab]
+    }
+
+    /// Whether this system uses the μFAB edge/core agents.
+    pub fn is_ufab(&self) -> bool {
+        matches!(self, SystemKind::Ufab | SystemKind::UfabPrime)
+    }
+}
+
+/// A ready-to-run experiment: simulator + agents + recorder.
+pub struct Runner {
+    /// The simulator.
+    pub sim: Simulator,
+    /// The annotated topology.
+    pub topo: Rc<Topo>,
+    /// The fabric registry.
+    pub fabric: Rc<FabricSpec>,
+    /// Shared measurement sink.
+    pub rec: SharedRecorder,
+    /// System under test.
+    pub system: SystemKind,
+    /// Ports to sample queue depth from each slice: `(node, port)`.
+    pub queue_watch: Vec<(NodeId, PortNo)>,
+    /// Queue-depth samples in bytes (all watched ports pooled).
+    pub queue_samples: Percentiles,
+    /// Per-slice maximum watched queue depth time series `(t, bytes)`.
+    pub queue_series: Vec<(Time, u64)>,
+}
+
+impl Runner {
+    /// Assemble a runner. `ufab_cfg` configures μFAB variants (pass
+    /// `None` for defaults); baselines take their standard configs.
+    /// `rate_bin` sets the recorder's rate-series resolution.
+    pub fn new(
+        topo: Topo,
+        fabric: FabricSpec,
+        system: SystemKind,
+        seed: u64,
+        ufab_cfg: Option<UfabConfig>,
+        rate_bin: Time,
+    ) -> Self {
+        Self::new_full(topo, fabric, system, seed, ufab_cfg, None, rate_bin)
+    }
+
+    /// Like [`Runner::new`] with an explicit baseline configuration
+    /// (e.g. Fig 5's 36 μs flowlet gap).
+    pub fn new_full(
+        mut topo: Topo,
+        fabric: FabricSpec,
+        system: SystemKind,
+        seed: u64,
+        ufab_cfg: Option<UfabConfig>,
+        baseline_cfg: Option<BaselineCfg>,
+        rate_bin: Time,
+    ) -> Self {
+        topo.install_ecmp();
+        let net = topo.take_network();
+        let topo = Rc::new(topo);
+        let fabric = Rc::new(fabric);
+        let rec = recorder::shared(rate_bin);
+        let mut sim = Simulator::new(net, seed);
+        let mut cfg = ufab_cfg.unwrap_or_default();
+        match system {
+            SystemKind::Ufab | SystemKind::UfabPrime => {
+                if system == SystemKind::UfabPrime {
+                    cfg.bounded_latency = false;
+                }
+                for &h in &topo.hosts {
+                    sim.set_edge_agent(
+                        h,
+                        Box::new(UfabEdge::new(
+                            cfg.clone(),
+                            Rc::clone(&topo),
+                            Rc::clone(&fabric),
+                            Rc::clone(&rec),
+                            h,
+                        )),
+                    );
+                }
+                for &s in topo
+                    .tors
+                    .iter()
+                    .chain(topo.aggs.iter())
+                    .chain(topo.cores.iter())
+                {
+                    sim.set_switch_agent(
+                        s,
+                        Box::new(UfabCore::new(cfg.bloom_bytes, cfg.core_cleanup_period)),
+                    );
+                }
+            }
+            SystemKind::Pwc | SystemKind::EsClove => {
+                sim.stamp_util = true;
+                let bcfg = baseline_cfg.unwrap_or_else(|| {
+                    if system == SystemKind::Pwc {
+                        BaselineCfg::pwc()
+                    } else {
+                        BaselineCfg::es_clove()
+                    }
+                });
+                for &h in &topo.hosts {
+                    let nic = topo.neighbors(h)[0].cap_bps;
+                    sim.set_edge_agent(
+                        h,
+                        Box::new(BaselineEdge::new(
+                            bcfg.clone(),
+                            Rc::clone(&topo),
+                            Rc::clone(&fabric),
+                            Rc::clone(&rec),
+                            h,
+                            nic,
+                        )),
+                    );
+                }
+            }
+        }
+        Self {
+            sim,
+            topo,
+            fabric,
+            rec,
+            system,
+            queue_watch: Vec::new(),
+            queue_samples: Percentiles::new(),
+            queue_series: Vec::new(),
+        }
+    }
+
+    /// Watch every fabric (switch-to-switch and switch-to-host) egress
+    /// queue.
+    pub fn watch_all_switch_queues(&mut self) {
+        let mut watch = Vec::new();
+        for &sw in self
+            .topo
+            .tors
+            .iter()
+            .chain(self.topo.aggs.iter())
+            .chain(self.topo.cores.iter())
+        {
+            for p in 0..self.sim.n_ports(sw) {
+                watch.push((sw, PortNo(p as u16)));
+            }
+        }
+        self.queue_watch = watch;
+    }
+
+    /// Advance to `until` in `slice` steps, polling `drivers` and sampling
+    /// watched queues between slices.
+    pub fn run(&mut self, until: Time, slice: Time, drivers: &mut [&mut dyn Driver]) {
+        assert!(slice > 0);
+        self.sim.start();
+        // Initial poll lets drivers seed their first messages.
+        let comps = self.rec.borrow_mut().drain_new_completions();
+        for d in drivers.iter_mut() {
+            d.poll(self, &comps);
+        }
+        while self.sim.now() < until {
+            let next_wake = drivers
+                .iter()
+                .map(|d| d.next_wake())
+                .min()
+                .unwrap_or(Time::MAX);
+            let target = (self.sim.now() + slice)
+                .min(until)
+                .min(next_wake.max(self.sim.now() + 1));
+            self.sim.run_until(target);
+            let comps = self.rec.borrow_mut().drain_new_completions();
+            for d in drivers.iter_mut() {
+                d.poll(self, &comps);
+            }
+            self.sample_queues();
+        }
+    }
+
+    fn sample_queues(&mut self) {
+        if self.queue_watch.is_empty() {
+            return;
+        }
+        let mut max_q = 0u64;
+        for &(n, p) in &self.queue_watch {
+            let q = self.sim.port(n, p).q_bytes;
+            self.queue_samples.add(q as f64);
+            max_q = max_q.max(q);
+        }
+        self.queue_series.push((self.sim.now(), max_q));
+    }
+
+    /// Average delivered rate of a pair over `[from, to)` in bits/sec.
+    pub fn pair_rate(&self, pair: PairId, from: Time, to: Time) -> f64 {
+        self.rec
+            .borrow()
+            .pair_rates
+            .get(&pair.raw())
+            .map(|s| s.avg_rate(from, to))
+            .unwrap_or(0.0)
+    }
+
+    /// Average delivered rate of a tenant over `[from, to)` in bits/sec.
+    pub fn tenant_rate(&self, tenant: u32, from: Time, to: Time) -> f64 {
+        self.rec
+            .borrow()
+            .tenant_rates
+            .get(&tenant)
+            .map(|s| s.avg_rate(from, to))
+            .unwrap_or(0.0)
+    }
+
+    /// Probing bandwidth overhead so far: probe bytes / all host TX bytes.
+    pub fn probe_overhead(&self) -> f64 {
+        let st = self.sim.stats();
+        if st.host_bytes_tx == 0 {
+            0.0
+        } else {
+            st.probe_bytes_tx as f64 / st.host_bytes_tx as f64
+        }
+    }
+}
+
+impl WorkloadPort for Runner {
+    fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    fn inject(&mut self, host: NodeId, msg: AppMsg) {
+        self.sim.inject(host, Box::new(msg));
+    }
+
+    fn backlog(&self, host: NodeId, pair: PairId) -> u64 {
+        if self.system.is_ufab() {
+            self.sim.edge::<UfabEdge>(host).ep.backlog_bytes(pair)
+        } else {
+            self.sim.edge::<BaselineEdge>(host).ep.backlog_bytes(pair)
+        }
+    }
+
+    fn clear_backlog(&mut self, host: NodeId, pair: PairId) {
+        if self.system.is_ufab() {
+            self.sim
+                .edge_mut::<UfabEdge>(host)
+                .ep
+                .clear_backlog(pair);
+        } else {
+            self.sim
+                .edge_mut::<BaselineEdge>(host)
+                .ep
+                .clear_backlog(pair);
+        }
+    }
+}
+
+/// Convenience: evenly assign `tokens` guarantees and one pair per source
+/// host toward `dst_host`, registering one tenant per pair (the incast
+/// fabric of Fig 4/12).
+pub fn incast_fabric(
+    topo: &Topo,
+    srcs: &[NodeId],
+    dst: NodeId,
+    tokens: f64,
+    bu_bps: f64,
+) -> (FabricSpec, Vec<PairId>) {
+    let mut fabric = FabricSpec::new(bu_bps);
+    let mut pairs = Vec::new();
+    for (i, &s) in srcs.iter().enumerate() {
+        let t = fabric.add_tenant(&format!("vf{i}"), tokens);
+        let v0 = fabric.add_vm(t, s);
+        let v1 = fabric.add_vm(t, dst);
+        pairs.push(fabric.add_pair(v0, v1));
+    }
+    let _ = topo;
+    (fabric, pairs)
+}
+
+/// Default measurement slice for driver polling.
+pub const SLICE: Time = 50 * US;
+/// Convenience re-export.
+pub const fn ms(n: u64) -> Time {
+    n * MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::dumbbell;
+
+    fn small_fabric(topo: &Topo) -> (FabricSpec, PairId) {
+        let mut f = FabricSpec::new(500e6);
+        let t = f.add_tenant("t", 2.0);
+        let a = f.add_vm(t, topo.hosts[0]);
+        let b = f.add_vm(t, topo.hosts[1]);
+        let p = f.add_pair(a, b);
+        (f, p)
+    }
+
+    #[test]
+    fn runner_runs_all_four_systems() {
+        for system in [
+            SystemKind::Ufab,
+            SystemKind::UfabPrime,
+            SystemKind::Pwc,
+            SystemKind::EsClove,
+        ] {
+            let topo = dumbbell(1, 10, 10);
+            let (fabric, pair) = small_fabric(&topo);
+            let host = topo.hosts[0];
+            let mut r = Runner::new(topo, fabric, system, 1, None, MS);
+            r.sim.start();
+            r.sim
+                .inject(host, Box::new(AppMsg::oneway(1, pair, 5_000_000, 0)));
+            r.sim.run_until(10 * MS);
+            let rate = r.pair_rate(pair, 0, 10 * MS);
+            assert!(
+                rate > 3.0e9,
+                "{}: rate {:.2} Gbps",
+                system.label(),
+                rate / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn workload_port_backlog_roundtrip() {
+        let topo = dumbbell(1, 10, 10);
+        let (fabric, pair) = small_fabric(&topo);
+        let host = topo.hosts[0];
+        let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 1, None, MS);
+        r.sim.start();
+        r.inject(host, AppMsg::oneway(1, pair, 50_000_000, 0));
+        r.sim.run_until(100 * US);
+        assert!(r.backlog(host, pair) > 0);
+        r.clear_backlog(host, pair);
+        assert_eq!(r.backlog(host, pair), 0);
+    }
+
+    #[test]
+    fn queue_watch_collects_samples() {
+        let topo = dumbbell(2, 10, 10);
+        let mut f = FabricSpec::new(500e6);
+        let t = f.add_tenant("t", 2.0);
+        let a = f.add_vm(t, topo.hosts[0]);
+        let b = f.add_vm(t, topo.hosts[2]);
+        let p = f.add_pair(a, b);
+        let host = topo.hosts[0];
+        let mut r = Runner::new(topo, f, SystemKind::Ufab, 1, None, MS);
+        r.watch_all_switch_queues();
+        assert!(!r.queue_watch.is_empty());
+        r.sim.start();
+        r.inject(host, AppMsg::oneway(1, p, 2_000_000, 0));
+        let mut drivers: [&mut dyn Driver; 0] = [];
+        r.run(2 * MS, 100 * US, &mut drivers);
+        assert!(r.queue_samples.count() > 0);
+        assert!(!r.queue_series.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared pieces of the scenario implementations.
+
+use crate::harness::{Runner, SystemKind};
+use metrics::table::Table;
+use netsim::{NodeId, PairId, Time, MS};
+use topology::Topo;
+use ufab::FabricSpec;
+use workloads::driver::Driver;
+use workloads::patterns::BulkDriver;
+
+/// Output directory for CSVs.
+pub const RESULTS_DIR: &str = "results";
+
+/// Write a table both to stdout and `results/<name>.csv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("\n=== {title} ===");
+    print!("{}", table.render());
+    let path = format!("{RESULTS_DIR}/{name}.csv");
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("[written {path}]");
+    }
+}
+
+/// Experiment scale knobs shared by the CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Random seed.
+    pub seed: u64,
+    /// Quick mode: smaller topologies / shorter runs.
+    pub quick: bool,
+    /// Override the server count for the large-scale runs (Fig 17/18/20).
+    pub servers: Option<usize>,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            quick: true,
+            servers: None,
+        }
+    }
+}
+
+/// Build an N-to-1 incast on the paper's testbed: `n` sources (one per
+/// host, cycling) target the last host; every VF guaranteed
+/// `tokens × B_u`. Returns (topo, fabric, src hosts, pairs, dst).
+pub fn incast_on_testbed(
+    n: usize,
+    cfg: topology::TestbedCfg,
+    tokens: f64,
+    bu_bps: f64,
+) -> (Topo, FabricSpec, Vec<NodeId>, Vec<PairId>, NodeId) {
+    let topo = topology::testbed(cfg);
+    let dst = *topo.hosts.last().expect("testbed has hosts");
+    let mut fabric = FabricSpec::new(bu_bps);
+    let mut srcs = Vec::new();
+    let mut pairs = Vec::new();
+    let candidates: Vec<NodeId> = topo
+        .hosts
+        .iter()
+        .copied()
+        .filter(|&h| h != dst)
+        .collect();
+    for i in 0..n {
+        let src = candidates[i % candidates.len()];
+        let t = fabric.add_tenant(&format!("vf{i}"), tokens);
+        let v0 = fabric.add_vm(t, src);
+        let v1 = fabric.add_vm(t, dst);
+        pairs.push(fabric.add_pair(v0, v1));
+        srcs.push(src);
+    }
+    (topo, fabric, srcs, pairs, dst)
+}
+
+/// Run an incast of `bytes` per sender starting at `start`, returning the
+/// runner after `until`.
+pub fn run_incast(
+    topo: Topo,
+    fabric: FabricSpec,
+    system: SystemKind,
+    seed: u64,
+    srcs: &[NodeId],
+    pairs: &[PairId],
+    bytes: u64,
+    start: Time,
+    until: Time,
+) -> Runner {
+    let mut r = Runner::new(topo, fabric, system, seed, None, MS);
+    r.watch_all_switch_queues();
+    let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
+        .iter()
+        .zip(pairs)
+        .map(|(&s, &p)| (start, s, p, bytes, 0))
+        .collect();
+    let mut driver = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+    r.run(until, crate::harness::SLICE, &mut drivers);
+    r
+}
+
+/// Format a float with the given precision, for table cells.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Microseconds with one decimal.
+pub fn us(x_ns: f64) -> String {
+    format!("{:.1}", x_ns / 1e3)
+}

@@ -1,0 +1,151 @@
+//! Fig 11: bandwidth guarantee with work conservation under high load
+//! (§5.2).
+//!
+//! A cross-pod permutation on the testbed with three guarantee classes —
+//! 1, 2, 5 Gbps — one VF of each class per source host (1+2+5 = 8 Gbps
+//! ≤ 10 G, so hosts are not the bottleneck). VFs join one at a time every
+//! `stagger`; the paper reports (a–c) per-class rate evolution, (d) the
+//! bandwidth-dissatisfaction curve, and (e) the switch-queue CDF.
+
+use super::common::{emit, Scale};
+use crate::harness::{Runner, SystemKind, SLICE};
+use metrics::table::Table;
+use metrics::DissatisfactionMeter;
+use netsim::{NodeId, PairId, Time, MS};
+use topology::TestbedCfg;
+use ufab::FabricSpec;
+use workloads::driver::Driver;
+use workloads::patterns::BulkDriver;
+
+struct Setup {
+    topo: topology::Topo,
+    fabric: FabricSpec,
+    /// (join_time, src_host, pair, class_gbps)
+    vfs: Vec<(Time, NodeId, PairId, u64)>,
+}
+
+fn setup(stagger: Time, seed: u64) -> Setup {
+    let topo = topology::testbed(TestbedCfg::default());
+    let mut fabric = FabricSpec::new(500e6);
+    let classes = [(1u64, 2.0), (2, 4.0), (5, 10.0)];
+    let mut vfs = Vec::new();
+    // Pod-1 hosts (S1–S4) each run one VF per class toward the matching
+    // pod-2 host (S5–S8).
+    let mut joins = Vec::new();
+    for hi in 0..4 {
+        for &(gbps, tokens) in &classes {
+            let t = fabric.add_tenant(&format!("{gbps}G-h{hi}"), tokens);
+            let src = topo.hosts[hi];
+            let dst = topo.hosts[4 + hi];
+            let v0 = fabric.add_vm(t, src);
+            let v1 = fabric.add_vm(t, dst);
+            let pair = fabric.add_pair(v0, v1);
+            joins.push((src, pair, gbps));
+        }
+    }
+    // Random join order, one every `stagger`.
+    let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for i in (1..joins.len()).rev() {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        let j = (rng_state as usize) % (i + 1);
+        joins.swap(i, j);
+    }
+    for (k, (src, pair, gbps)) in joins.into_iter().enumerate() {
+        vfs.push((MS + k as Time * stagger, src, pair, gbps));
+    }
+    Setup { topo, fabric, vfs }
+}
+
+/// Run all three systems and emit rates, dissatisfaction and queue CDFs.
+pub fn run(scale: Scale) -> Table {
+    let stagger = if scale.quick { 5 * MS } else { 20 * MS };
+    let mut rates = Table::new(["system", "t_ms", "class_gbps", "vf", "rate_gbps"]);
+    let mut summary = Table::new([
+        "system",
+        "dissatisfaction",
+        "q_p50_kb",
+        "q_p99_kb",
+        "q_max_kb",
+        "agg_gbps",
+    ]);
+    for system in SystemKind::headline() {
+        let s = setup(stagger, scale.seed);
+        let until = s.vfs.last().unwrap().0 + 12 * stagger.max(5 * MS);
+        let vfs = s.vfs.clone();
+        let mut r = Runner::new(s.topo, s.fabric, system, scale.seed, None, MS);
+        r.watch_all_switch_queues();
+        let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = vfs
+            .iter()
+            .map(|&(at, src, pair, _)| (at, src, pair, 8_000_000_000, 0))
+            .collect();
+        let mut driver = BulkDriver::new(jobs, 0);
+        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+        r.run(until, SLICE, &mut drivers);
+
+        // (a–c) per-VF rate series.
+        let rec = r.rec.borrow();
+        for b in 0..(until / MS) as usize {
+            for (vi, &(_, _, pair, gbps)) in vfs.iter().enumerate() {
+                let rate = rec
+                    .pair_rates
+                    .get(&pair.raw())
+                    .map(|s| s.rate_at(b))
+                    .unwrap_or(0.0);
+                rates.row([
+                    system.label().to_string(),
+                    b.to_string(),
+                    gbps.to_string(),
+                    format!("vf{vi}"),
+                    format!("{:.2}", rate / 1e9),
+                ]);
+            }
+        }
+        // (d) dissatisfaction: each VF is entitled to its guarantee from
+        // its join time (demand is unlimited).
+        let mut meter = DissatisfactionMeter::new();
+        for b in 0..(until / MS) as usize {
+            let t = b as Time * MS;
+            let entries: Vec<(f64, f64, f64)> = vfs
+                .iter()
+                .filter(|&&(at, _, _, _)| t >= at)
+                .map(|&(_, _, pair, gbps)| {
+                    let rate = rec
+                        .pair_rates
+                        .get(&pair.raw())
+                        .map(|s| s.rate_at(b))
+                        .unwrap_or(0.0);
+                    (rate, gbps as f64 * 1e9, f64::INFINITY)
+                })
+                .collect();
+            meter.observe(t, MS, &entries);
+        }
+        let agg: f64 = vfs
+            .iter()
+            .map(|&(_, _, p, _)| {
+                rec.pair_rates
+                    .get(&p.raw())
+                    .map(|s| s.avg_rate(until - 5 * MS, until))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        drop(rec);
+        let mut q = r.queue_samples.clone();
+        summary.row([
+            system.label().to_string(),
+            format!("{:.4}", meter.ratio()),
+            format!("{:.1}", q.percentile(50.0).unwrap_or(0.0) / 1e3),
+            format!("{:.1}", q.percentile(99.0).unwrap_or(0.0) / 1e3),
+            format!("{:.1}", q.max().unwrap_or(0.0) / 1e3),
+            format!("{:.2}", agg / 1e9),
+        ]);
+    }
+    emit("fig11_rates", "Fig 11a-c: permutation rate evolution", &rates);
+    emit(
+        "fig11_summary",
+        "Fig 11d-e: dissatisfaction + queue (expect uFAB lowest on both)",
+        &summary,
+    );
+    summary
+}

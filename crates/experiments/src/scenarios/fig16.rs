@@ -1,0 +1,161 @@
+//! Fig 16: 90-to-1 highly dynamic workload (§5.5).
+//!
+//! Ninety VFs (1 Gbps guarantee each) toward one receiver toggle between
+//! a fixed 500 Mbps underload and unlimited demand every 4 ms.
+//! PWC overshoots (under-utilisation after each toggle), ES+Clove recovers
+//! aggressively at the cost of latency, μFAB converges each phase within
+//! RTTs and — with the latency stage — keeps the RTT near base.
+
+use super::common::{emit, us, Scale};
+use crate::harness::{Runner, SystemKind, SLICE};
+use metrics::table::Table;
+use netsim::{NodeId, PairId, MS};
+use topology::{leaf_spine, three_tier, ThreeTierCfg};
+use ufab::FabricSpec;
+use workloads::driver::Driver;
+use workloads::patterns::OnOffDriver;
+
+/// Run the on-off sweep over all four systems.
+pub fn run(scale: Scale) -> Table {
+    let n = if scale.quick { 30 } else { 90 };
+    // 100 G fabric so 90×1 G guarantees are feasible into one host.
+    let topo = if scale.quick {
+        leaf_spine(
+            4,
+            2,
+            8,
+            netsim::builder::LinkSpec::gbps(100, 1000),
+            netsim::builder::LinkSpec::gbps(100, 1000),
+            4096,
+        )
+    } else {
+        three_tier(ThreeTierCfg {
+            pods: 2,
+            tors_per_pod: 3,
+            hosts_per_tor: 16,
+            aggs_per_pod: 2,
+            cores: 4,
+            ..ThreeTierCfg::default()
+        })
+    };
+    let dst = *topo.hosts.last().unwrap();
+    let mut fabric = FabricSpec::new(500e6);
+    let mut pairs: Vec<(NodeId, PairId)> = Vec::new();
+    let srcs: Vec<NodeId> = topo.hosts.iter().copied().filter(|&h| h != dst).collect();
+    for i in 0..n {
+        let t = fabric.add_tenant(&format!("vf{i}"), 2.0); // 1 Gbps
+        let src = srcs[i % srcs.len()];
+        let v0 = fabric.add_vm(t, src);
+        let v1 = fabric.add_vm(t, dst);
+        pairs.push((src, fabric.add_pair(v0, v1)));
+    }
+    let until = if scale.quick { 16 * MS } else { 32 * MS };
+    let mut table = Table::new([
+        "system",
+        "agg_underload_gbps",
+        "agg_overload_gbps",
+        "rtt_p50_us",
+        "rtt_p99_us",
+        "rtt_max_us",
+    ]);
+    let mut series = Table::new(["system", "t_ms", "agg_gbps"]);
+    for system in [
+        SystemKind::Pwc,
+        SystemKind::EsClove,
+        SystemKind::UfabPrime,
+        SystemKind::Ufab,
+    ] {
+        // Rebuild per system (topo/fabric consumed by the runner).
+        let (topo, fabric) = rebuild(scale, n);
+        let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);
+        let mut driver = OnOffDriver::new(pairs.clone(), 4 * MS, 500e6, 0);
+        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+        r.run(until, SLICE, &mut drivers);
+        let rec = r.rec.borrow();
+        let agg_at = |b: usize| -> f64 {
+            pairs
+                .iter()
+                .map(|(_, p)| {
+                    rec.pair_rates
+                        .get(&p.raw())
+                        .map(|s| s.rate_at(b))
+                        .unwrap_or(0.0)
+                })
+                .sum()
+        };
+        for b in 0..(until / MS) as usize {
+            series.row([
+                system.label().to_string(),
+                b.to_string(),
+                format!("{:.2}", agg_at(b) / 1e9),
+            ]);
+        }
+        // Phases: [0,4) ms underload, [4,8) overload, … skip the first
+        // cycle as warmup.
+        let mut under = 0.0;
+        let mut over = 0.0;
+        let mut under_n = 0;
+        let mut over_n = 0;
+        for b in 8..(until / MS) as usize {
+            if (b / 4) % 2 == 0 {
+                under += agg_at(b);
+                under_n += 1;
+            } else {
+                over += agg_at(b);
+                over_n += 1;
+            }
+        }
+        let mut rtts = rec.rtts.clone();
+        drop(rec);
+        table.row([
+            system.label().to_string(),
+            format!("{:.2}", under / under_n.max(1) as f64 / 1e9),
+            format!("{:.2}", over / over_n.max(1) as f64 / 1e9),
+            us(rtts.median().unwrap_or(f64::NAN)),
+            us(rtts.percentile(99.0).unwrap_or(f64::NAN)),
+            us(rtts.max().unwrap_or(f64::NAN)),
+        ]);
+    }
+    emit("fig16_series", "Fig 16a: 90-to-1 on-off aggregate rate", &series);
+    emit(
+        "fig16_summary",
+        "Fig 16: on-off rates + RTT (expect uFAB near-base RTT)",
+        &table,
+    );
+    table
+}
+
+fn rebuild(scale: Scale, _n: usize) -> (topology::Topo, FabricSpec) {
+    // Identical construction to `run` — kept in sync via shared seeds.
+    let topo = if scale.quick {
+        leaf_spine(
+            4,
+            2,
+            8,
+            netsim::builder::LinkSpec::gbps(100, 1000),
+            netsim::builder::LinkSpec::gbps(100, 1000),
+            4096,
+        )
+    } else {
+        three_tier(ThreeTierCfg {
+            pods: 2,
+            tors_per_pod: 3,
+            hosts_per_tor: 16,
+            aggs_per_pod: 2,
+            cores: 4,
+            ..ThreeTierCfg::default()
+        })
+    };
+    let dst = *topo.hosts.last().unwrap();
+    let mut fabric = FabricSpec::new(500e6);
+    let srcs: Vec<NodeId> = topo.hosts.iter().copied().filter(|&h| h != dst).collect();
+    let n = if scale.quick { 30 } else { 90 };
+    for i in 0..n {
+        let t = fabric.add_tenant(&format!("vf{i}"), 2.0);
+        let src = srcs[i % srcs.len()];
+        let v0 = fabric.add_vm(t, src);
+        let v1 = fabric.add_vm(t, dst);
+        fabric.add_pair(v0, v1);
+    }
+    (topo, fabric)
+}

@@ -1,0 +1,82 @@
+//! Tables 3 and 4: hardware resource accounting (Appendix H).
+//!
+//! Reproduced from the analytic models in [`ufab::resources`], calibrated
+//! to the paper's measured operating points (see the module docs for the
+//! scaling assumptions).
+
+use super::common::emit;
+use metrics::table::Table;
+use ufab::resources::{
+    bloom_bytes_for, fpga_at_pairs, tofino_at_pairs, FPGA_TABLE3, TOFINO_TABLE4,
+};
+
+/// Emit Table 3 (μFAB-E on the Alveo U200) plus the scaling model.
+pub fn table3() -> Table {
+    let mut t = Table::new(["module", "LUT_pct", "Registers_pct", "BRAM_pct", "URAM_pct"]);
+    for row in FPGA_TABLE3 {
+        t.row([
+            row.module.to_string(),
+            format!("{:.1}", row.lut_pct),
+            format!("{:.1}", row.reg_pct),
+            format!("{:.1}", row.bram_pct),
+            format!("{:.1}", row.uram_pct),
+        ]);
+    }
+    for pairs in [16_384u64, 32_768] {
+        let m = fpga_at_pairs(pairs);
+        t.row([
+            format!("Total @{}K pairs (model)", pairs / 1024),
+            format!("{:.1}", m.lut_pct),
+            format!("{:.1}", m.reg_pct),
+            format!("{:.1}", m.bram_pct),
+            format!("{:.1}", m.uram_pct),
+        ]);
+    }
+    emit("table3_fpga", "Table 3: uFAB-E FPGA resource consumption", &t);
+    t
+}
+
+/// Emit Table 4 (μFAB-C on Tofino) plus interpolated points.
+pub fn table4() -> Table {
+    let mut t = Table::new([
+        "vm_pairs",
+        "MatchXbar_pct",
+        "SRAM_pct",
+        "TCAM_pct",
+        "VLIW_pct",
+        "HashBits_pct",
+        "StatefulALU_pct",
+        "PHV_pct",
+    ]);
+    for row in TOFINO_TABLE4 {
+        t.row([
+            row.pairs.to_string(),
+            format!("{:.2}", row.match_crossbar_pct),
+            format!("{:.2}", row.sram_pct),
+            format!("{:.2}", row.tcam_pct),
+            format!("{:.2}", row.vliw_pct),
+            format!("{:.2}", row.hash_bits_pct),
+            format!("{:.2}", row.stateful_alu_pct),
+            format!("{:.2}", row.phv_pct),
+        ]);
+    }
+    for pairs in [160_000u64, 320_000] {
+        let m = tofino_at_pairs(pairs);
+        t.row([
+            format!("{} (model)", m.pairs),
+            format!("{:.2}", m.match_crossbar_pct),
+            format!("{:.2}", m.sram_pct),
+            format!("{:.2}", m.tcam_pct),
+            format!("{:.2}", m.vliw_pct),
+            format!("{:.2}", m.hash_bits_pct),
+            format!("{:.2}", m.stateful_alu_pct),
+            format!("{:.2}", m.phv_pct),
+        ]);
+    }
+    println!(
+        "Bloom sizing check (§4.2): {} bytes keep 20K pairs under 5% FP (paper deploys 20KB)",
+        bloom_bytes_for(20_000, 0.05)
+    );
+    emit("table4_tofino", "Table 4: uFAB-C Tofino resource consumption", &t);
+    t
+}

@@ -1,0 +1,87 @@
+//! Fig 21 / Algorithm 1–2: token assignment walk-through (Appendix E/F).
+//!
+//! Prints the two worked examples from the paper — sufficient and
+//! insufficient demand — plus a multipath split.
+
+use super::common::emit;
+use metrics::table::Table;
+use ufab::tokens::{multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens};
+
+/// Run the walkthrough.
+pub fn run() -> Table {
+    const BU: f64 = 500e6;
+    let phi: f64 = 9.0;
+    let mut t = Table::new(["case", "entity", "value"]);
+
+    // Fig 21a: sender a0 splits its hose across three hungry pairs.
+    let mut pairs = vec![PairTokens::new(10e9, f64::INFINITY); 3];
+    token_assignment(phi, BU, &mut pairs);
+    for (i, p) in pairs.iter().enumerate() {
+        t.row([
+            "21a sender a0".to_string(),
+            format!("phi_s(a0->a{})", 5 + i),
+            format!("{:.2}", p.phi_s),
+        ]);
+    }
+    // Receiver a7 arbitrates demands {phi/3 from a0, phi from a4}.
+    let admitted = token_admission(phi, &[phi / 3.0, phi]);
+    t.row([
+        "21a receiver a7".to_string(),
+        "phi_p(a0->a7)".to_string(),
+        if admitted[0].is_infinite() {
+            "UNBOUND".to_string()
+        } else {
+            format!("{:.2}", admitted[0])
+        },
+    ]);
+    t.row([
+        "21a receiver a7".to_string(),
+        "phi_p(a4->a7)".to_string(),
+        format!("{:.2}", admitted[1]),
+    ]);
+
+    // Fig 21b: one pair has insufficient demand ε.
+    let mut pairs_b = vec![
+        PairTokens::new(0.05 * BU, f64::INFINITY), // ε
+        PairTokens::new(10e9, f64::INFINITY),
+        PairTokens::new(10e9, f64::INFINITY),
+    ];
+    token_assignment(phi, BU, &mut pairs_b);
+    for (i, p) in pairs_b.iter().enumerate() {
+        t.row([
+            "21b insufficient".to_string(),
+            format!("phi_s(pair{i})"),
+            format!("{:.2}", p.phi_s),
+        ]);
+    }
+
+    // Appendix F: multipath split with one demand-limited path.
+    let mut paths = vec![
+        PathTokens {
+            tx_bps: 0.5 * BU,
+            phi: 0.0,
+        },
+        PathTokens {
+            tx_bps: 10e9,
+            phi: 0.0,
+        },
+        PathTokens {
+            tx_bps: 10e9,
+            phi: 0.0,
+        },
+    ];
+    multipath_assignment(6.0, BU, &mut paths);
+    for (i, p) in paths.iter().enumerate() {
+        t.row([
+            "Alg 2 multipath".to_string(),
+            format!("phi(path{i})"),
+            format!("{:.2}", p.phi),
+        ]);
+    }
+    emit(
+        "fig21_tokens",
+        "Fig 21 / Algorithms 1-2: token assignment walkthrough",
+        &t,
+    );
+    t
+}

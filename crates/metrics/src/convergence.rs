@@ -1,0 +1,206 @@
+//! Convergence-time detection and bandwidth-dissatisfaction accounting.
+//!
+//! Two paper-specific metrics live here:
+//!
+//! * **Convergence time** (Fig 18a/b, §1's "sub-millisecond convergence"):
+//!   the delay between a disturbance (VF join, failure) and the first moment
+//!   every tracked entity stays within a tolerance band around its target
+//!   for a configurable hold duration.
+//! * **Bandwidth dissatisfaction ratio** (Fig 11d, Fig 17a): the amount of
+//!   minimum-bandwidth violation accumulated over time, normalised by the
+//!   total guaranteed volume over the same interval.
+
+use crate::Nanos;
+
+/// Detects when a set of observed values has converged to targets.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    tolerance: f64,
+    hold: Nanos,
+    start: Nanos,
+    in_band_since: Option<Nanos>,
+    converged_at: Option<Nanos>,
+}
+
+impl ConvergenceDetector {
+    /// `tolerance` is relative (0.1 = ±10 % of target); `hold` is how long
+    /// all values must stay in band; `start` is the disturbance time.
+    pub fn new(start: Nanos, tolerance: f64, hold: Nanos) -> Self {
+        Self {
+            tolerance,
+            hold,
+            start,
+            in_band_since: None,
+            converged_at: None,
+        }
+    }
+
+    /// Feed one sample round: `pairs` is `(observed, target)` per entity.
+    /// Entities with `target == 0` are ignored. Call with monotonically
+    /// increasing `now`.
+    pub fn observe(&mut self, now: Nanos, pairs: &[(f64, f64)]) {
+        if self.converged_at.is_some() {
+            return;
+        }
+        let all_in_band = pairs
+            .iter()
+            .filter(|(_, t)| *t > 0.0)
+            .all(|(o, t)| (o - t).abs() <= self.tolerance * t);
+        if all_in_band {
+            let since = *self.in_band_since.get_or_insert(now);
+            if now.saturating_sub(since) >= self.hold {
+                self.converged_at = Some(since);
+            }
+        } else {
+            self.in_band_since = None;
+        }
+    }
+
+    /// Time from the disturbance to entering the (held) band, if converged.
+    pub fn convergence_time(&self) -> Option<Nanos> {
+        self.converged_at.map(|t| t.saturating_sub(self.start))
+    }
+
+    /// Whether convergence has been declared.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+}
+
+/// Integrates minimum-bandwidth violations over time.
+///
+/// Per sample interval `dt`, for each VF with demand, the violation is
+/// `max(0, min(guarantee, demand) − rate) · dt` bytes; the dissatisfaction
+/// ratio is total violated volume over total entitled volume. A VF with
+/// insufficient demand is only entitled to its demand, matching the paper's
+/// definition ("minimum bandwidth violation over the total traffic volume").
+#[derive(Debug, Clone, Default)]
+pub struct DissatisfactionMeter {
+    violated_bytes: f64,
+    entitled_bytes: f64,
+    per_interval: Vec<(Nanos, f64)>,
+}
+
+impl DissatisfactionMeter {
+    /// Create an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval. `vfs` holds `(rate_bps, guarantee_bps,
+    /// demand_bps)` per VF active in this interval.
+    pub fn observe(&mut self, now: Nanos, dt: Nanos, vfs: &[(f64, f64, f64)]) {
+        let dt_s = dt as f64 / 1e9;
+        let mut violated = 0.0;
+        let mut entitled = 0.0;
+        for &(rate, guar, demand) in vfs {
+            let entitlement = guar.min(demand);
+            if entitlement <= 0.0 {
+                continue;
+            }
+            entitled += entitlement * dt_s / 8.0;
+            violated += (entitlement - rate).max(0.0) * dt_s / 8.0;
+        }
+        self.violated_bytes += violated;
+        self.entitled_bytes += entitled;
+        let ratio = if entitled > 0.0 {
+            violated / entitled
+        } else {
+            0.0
+        };
+        self.per_interval.push((now, ratio));
+    }
+
+    /// Overall dissatisfaction ratio in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.entitled_bytes <= 0.0 {
+            0.0
+        } else {
+            self.violated_bytes / self.entitled_bytes
+        }
+    }
+
+    /// Per-interval `(time, ratio)` curve (Fig 11d).
+    pub fn curve(&self) -> &[(Nanos, f64)] {
+        &self.per_interval
+    }
+
+    /// Total violated volume in bytes.
+    pub fn violated_bytes(&self) -> f64 {
+        self.violated_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MS, US};
+
+    #[test]
+    fn detects_convergence_after_hold() {
+        let mut d = ConvergenceDetector::new(0, 0.1, 500 * US);
+        // Out of band for 1 ms.
+        for i in 0..10 {
+            d.observe(i * 100 * US, &[(0.5, 1.0)]);
+        }
+        assert!(!d.converged());
+        // In band from t=1 ms.
+        for i in 10..30 {
+            d.observe(i * 100 * US, &[(0.95, 1.0)]);
+        }
+        assert!(d.converged());
+        assert_eq!(d.convergence_time(), Some(MS));
+    }
+
+    #[test]
+    fn band_exit_resets_hold() {
+        let mut d = ConvergenceDetector::new(0, 0.1, 300 * US);
+        d.observe(0, &[(1.0, 1.0)]);
+        d.observe(100 * US, &[(1.0, 1.0)]);
+        d.observe(200 * US, &[(0.2, 1.0)]); // leaves band before hold elapses
+        d.observe(300 * US, &[(1.0, 1.0)]);
+        d.observe(400 * US, &[(1.0, 1.0)]);
+        assert!(!d.converged());
+        d.observe(600 * US, &[(1.0, 1.0)]);
+        assert!(d.converged());
+        assert_eq!(d.convergence_time(), Some(300 * US));
+    }
+
+    #[test]
+    fn zero_targets_ignored() {
+        let mut d = ConvergenceDetector::new(0, 0.1, 0);
+        d.observe(10, &[(5.0, 0.0), (1.0, 1.0)]);
+        assert!(d.converged());
+    }
+
+    #[test]
+    fn dissatisfaction_halves() {
+        let mut m = DissatisfactionMeter::new();
+        // One VF: guaranteed 1 Gbps, demand unlimited, gets 0.5 Gbps.
+        m.observe(0, MS, &[(0.5e9, 1e9, f64::INFINITY)]);
+        assert!((m.ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_demand_not_a_violation() {
+        let mut m = DissatisfactionMeter::new();
+        // Guaranteed 1 Gbps but only wants 0.2 Gbps and gets it.
+        m.observe(0, MS, &[(0.2e9, 1e9, 0.2e9)]);
+        assert_eq!(m.ratio(), 0.0);
+    }
+
+    #[test]
+    fn over_delivery_not_negative() {
+        let mut m = DissatisfactionMeter::new();
+        // Work conservation: got 3 Gbps with a 1 Gbps guarantee.
+        m.observe(0, MS, &[(3e9, 1e9, f64::INFINITY)]);
+        assert_eq!(m.ratio(), 0.0);
+        assert!(m.violated_bytes() == 0.0);
+    }
+
+    #[test]
+    fn empty_meter_ratio_zero() {
+        let m = DissatisfactionMeter::new();
+        assert_eq!(m.ratio(), 0.0);
+    }
+}

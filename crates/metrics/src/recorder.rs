@@ -1,0 +1,210 @@
+//! The shared measurement sink written by edge agents.
+//!
+//! Every transport implementation in this repository (μFAB and the
+//! baselines) receives a [`SharedRecorder`] at construction and reports the
+//! same events into it: bytes delivered per VM-pair, per-packet RTT samples,
+//! and message/flow completions. Experiments then read rates, latency
+//! distributions and FCTs out of one place regardless of which system ran.
+//!
+//! The simulator is single-threaded, so `Rc<RefCell<…>>` is the appropriate
+//! sharing primitive (no locking, deterministic).
+
+use crate::stats::Percentiles;
+use crate::timeseries::SeriesSet;
+use crate::Nanos;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A completed application message (the paper's "flow"/"query"/"task").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Flow / message identifier assigned by the workload.
+    pub flow: u64,
+    /// VM-pair the message travelled on.
+    pub pair: u32,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Submission time at the sender.
+    pub start: Nanos,
+    /// Time the final byte was delivered at the receiver.
+    pub end: Nanos,
+    /// Workload-defined tag (e.g. distinguishes request vs. response,
+    /// SA vs. BA vs. GC traffic in the EBS model).
+    pub tag: u32,
+}
+
+impl Completion {
+    /// Flow completion time in nanoseconds.
+    pub fn fct(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// One RTT observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttSample {
+    /// VM-pair that measured it.
+    pub pair: u32,
+    /// When the ACK arrived.
+    pub at: Nanos,
+    /// Measured round-trip in nanoseconds.
+    pub rtt: Nanos,
+}
+
+/// Central sink for everything the experiments measure.
+#[derive(Debug)]
+pub struct Recorder {
+    /// Delivered goodput per VM-pair (receiver side).
+    pub pair_rates: SeriesSet<u32>,
+    /// Delivered goodput per tenant/VF.
+    pub tenant_rates: SeriesSet<u32>,
+    /// All data-packet RTT samples (sender side, per ACK).
+    pub rtts: Percentiles,
+    /// RTT samples grouped per tenant.
+    pub tenant_rtts: BTreeMap<u32, Percentiles>,
+    /// Completed messages, in completion order.
+    pub completions: Vec<Completion>,
+    /// Completions not yet consumed by a closed-loop driver.
+    unconsumed: usize,
+    /// Total data bytes delivered (all pairs).
+    pub delivered_bytes: u64,
+    /// Total probe/response bytes put on the wire (for Fig 15b overhead).
+    pub probe_bytes: u64,
+    /// Count of data packets retransmitted after loss.
+    pub retransmits: u64,
+    /// Count of path migrations performed (Fig 18a/b).
+    pub path_migrations: u64,
+    /// Per-pair cumulative delivered bytes.
+    pub pair_bytes: BTreeMap<u32, u64>,
+}
+
+impl Recorder {
+    /// Create a recorder whose rate series use `bin_ns`-wide bins.
+    pub fn new(bin_ns: Nanos) -> Self {
+        Self {
+            pair_rates: SeriesSet::new(bin_ns),
+            tenant_rates: SeriesSet::new(bin_ns),
+            rtts: Percentiles::new(),
+            tenant_rtts: BTreeMap::new(),
+            completions: Vec::new(),
+            unconsumed: 0,
+            delivered_bytes: 0,
+            probe_bytes: 0,
+            retransmits: 0,
+            path_migrations: 0,
+            pair_bytes: BTreeMap::new(),
+        }
+    }
+
+    /// Record `bytes` of application payload delivered on `pair` belonging
+    /// to `tenant` at time `now`.
+    pub fn delivered(&mut self, now: Nanos, pair: u32, tenant: u32, bytes: u64) {
+        self.pair_rates.add(pair, now, bytes);
+        self.tenant_rates.add(tenant, now, bytes);
+        self.delivered_bytes += bytes;
+        *self.pair_bytes.entry(pair).or_insert(0) += bytes;
+    }
+
+    /// Record one RTT sample.
+    pub fn rtt(&mut self, now: Nanos, pair: u32, tenant: u32, rtt: Nanos) {
+        self.rtts.add(rtt as f64);
+        self.tenant_rtts
+            .entry(tenant)
+            .or_default()
+            .add(rtt as f64);
+        let _ = (now, pair);
+    }
+
+    /// Record a completed message.
+    pub fn complete(&mut self, c: Completion) {
+        self.completions.push(c);
+    }
+
+    /// Drain completions that arrived since the previous call. Closed-loop
+    /// workload drivers poll this between simulation slices.
+    pub fn drain_new_completions(&mut self) -> Vec<Completion> {
+        let out = self.completions[self.unconsumed..].to_vec();
+        self.unconsumed = self.completions.len();
+        out
+    }
+
+    /// Cumulative delivered bytes for one pair.
+    pub fn pair_delivered(&self, pair: u32) -> u64 {
+        self.pair_bytes.get(&pair).copied().unwrap_or(0)
+    }
+}
+
+/// Shared handle to a [`Recorder`].
+pub type SharedRecorder = Rc<RefCell<Recorder>>;
+
+/// Construct a fresh shared recorder.
+pub fn shared(bin_ns: Nanos) -> SharedRecorder {
+    Rc::new(RefCell::new(Recorder::new(bin_ns)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MS, US};
+
+    #[test]
+    fn delivery_feeds_both_series() {
+        let mut r = Recorder::new(MS);
+        r.delivered(0, 7, 1, 1000);
+        r.delivered(MS, 7, 1, 500);
+        r.delivered(0, 8, 1, 200);
+        assert_eq!(r.delivered_bytes, 1700);
+        assert_eq!(r.pair_delivered(7), 1500);
+        assert_eq!(r.pair_rates.get(&7).unwrap().total_bytes(), 1500);
+        assert_eq!(r.tenant_rates.get(&1).unwrap().total_bytes(), 1700);
+    }
+
+    #[test]
+    fn completion_fct() {
+        let c = Completion {
+            flow: 1,
+            pair: 0,
+            bytes: 64_000,
+            start: 10 * US,
+            end: 110 * US,
+            tag: 0,
+        };
+        assert_eq!(c.fct(), 100 * US);
+    }
+
+    #[test]
+    fn drain_new_completions_is_incremental() {
+        let mut r = Recorder::new(MS);
+        let mk = |flow| Completion {
+            flow,
+            pair: 0,
+            bytes: 1,
+            start: 0,
+            end: 1,
+            tag: 0,
+        };
+        r.complete(mk(1));
+        r.complete(mk(2));
+        let first = r.drain_new_completions();
+        assert_eq!(first.len(), 2);
+        assert!(r.drain_new_completions().is_empty());
+        r.complete(mk(3));
+        let second = r.drain_new_completions();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].flow, 3);
+        // Full history still retained for end-of-run analysis.
+        assert_eq!(r.completions.len(), 3);
+    }
+
+    #[test]
+    fn rtt_grouped_by_tenant() {
+        let mut r = Recorder::new(MS);
+        r.rtt(0, 1, 10, 24_000);
+        r.rtt(0, 2, 10, 30_000);
+        r.rtt(0, 3, 11, 100_000);
+        assert_eq!(r.rtts.count(), 3);
+        assert_eq!(r.tenant_rtts[&10].count(), 2);
+        assert_eq!(r.tenant_rtts[&11].count(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Streaming statistics, exact percentiles, and CDF export.
+
+/// Streaming first/second-moment accumulator (Welford's algorithm).
+///
+/// Used wherever the paper reports mean ± stddev (e.g. Fig 17c FCT slowdown
+/// with standard deviation) without storing every sample.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile calculator over retained samples.
+///
+/// The evaluation cares about extreme tails (P99, P99.9 in Fig 1b, Fig 4,
+/// Fig 12b), so we keep every sample and sort on demand rather than using a
+/// sketch. Experiment sample counts stay in the low millions, which is fine.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Create an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile with `p` in `[0, 100]` using nearest-rank
+    /// interpolation. Returns `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (P50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Export an empirical CDF with at most `points` evenly spaced knots.
+    pub fn cdf(&mut self, points: usize) -> Cdf {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 0 {
+            return Cdf { points: Vec::new() };
+        }
+        let points = points.max(2).min(n.max(2));
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let q = i as f64 / (points - 1) as f64;
+            let idx = ((n - 1) as f64 * q).round() as usize;
+            out.push((self.samples[idx], q));
+        }
+        Cdf { points: out }
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merge another collection into this one.
+    pub fn merge(&mut self, other: &Percentiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// An empirical CDF: `(value, cumulative_fraction)` knots, value-sorted.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    /// `(value, fraction ≤ value)` pairs in ascending value order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// The smallest value at which the CDF reaches `q` (0..1), or `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(_, f)| *f >= q)
+            .or(self.points.last())
+            .map(|(v, _)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_empty() {
+        let mut a = OnlineStats::new();
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut c = OnlineStats::new();
+        let mut d = OnlineStats::new();
+        d.add(3.0);
+        c.merge(&d);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn percentiles_exact() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.add(i as f64);
+        }
+        assert_eq!(p.percentile(0.0), Some(1.0));
+        assert_eq!(p.percentile(100.0), Some(100.0));
+        let med = p.median().unwrap();
+        assert!((med - 50.5).abs() < 1e-9);
+        let p99 = p.percentile(99.0).unwrap();
+        assert!((p99 - 99.01).abs() < 0.02, "p99={p99}");
+    }
+
+    #[test]
+    fn percentiles_single_and_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.percentile(50.0), None);
+        p.add(7.5);
+        assert_eq!(p.percentile(10.0), Some(7.5));
+        assert_eq!(p.percentile(99.9), Some(7.5));
+    }
+
+    #[test]
+    fn cdf_quantile() {
+        let mut p = Percentiles::new();
+        for i in 0..1000 {
+            p.add(i as f64);
+        }
+        let cdf = p.cdf(101);
+        let q50 = cdf.quantile(0.5).unwrap();
+        assert!((q50 - 500.0).abs() < 15.0, "q50={q50}");
+        assert!(cdf.quantile(1.0).unwrap() >= 990.0);
+    }
+
+    #[test]
+    fn percentiles_merge() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        for i in 0..50 {
+            a.add(i as f64);
+        }
+        for i in 50..100 {
+            b.add(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.max(), Some(99.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Packets and their payloads.
+
+use crate::ids::{FlowId, NodeId, PairId, PortNo, TenantId};
+use crate::time::Time;
+use telemetry::{FinishFrame, ProbeFrame};
+
+/// Payload-bearing data segment metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataInfo {
+    /// Per-pair transport sequence number (one per packet).
+    pub seq: u64,
+    /// Application flow / message this segment belongs to.
+    pub flow: FlowId,
+    /// Payload bytes carried (wire size minus framing).
+    pub payload: u32,
+    /// Workload tag propagated to completions.
+    pub tag: u32,
+    /// True if this is a retransmission.
+    pub retx: bool,
+    /// Total size of the message this segment belongs to (lets the
+    /// receiver detect completion without a separate control channel).
+    pub msg_bytes: u64,
+    /// When the message was submitted at the sender (for FCT accounting).
+    pub flow_start: Time,
+    /// If nonzero, the receiver should auto-reply with a message of this
+    /// size on the reverse pair once the whole message arrives (RPC).
+    pub reply_bytes: u64,
+}
+
+/// Acknowledgement metadata, piggybacking the feedback channels every
+/// transport in the repo needs (Swift timestamps, ECN echo for Clove-ECN,
+/// utilisation echo for Clove, PicNIC′ receiver grants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckInfo {
+    /// Sequence number being acknowledged (selective).
+    pub seq: u64,
+    /// Cumulative ack: all sequence numbers `< cum` received.
+    pub cum: u64,
+    /// Sender timestamp echoed from the data packet (for RTT).
+    pub echo_ts: Time,
+    /// ECN mark observed on the data packet.
+    pub ecn: bool,
+    /// Maximum link utilisation stamped along the data packet's path.
+    pub max_util: f32,
+    /// Receiver-driven rate grant in bits/sec (0 = no grant).
+    pub grant_bps: f64,
+    /// Payload bytes credited by this ack.
+    pub payload: u32,
+}
+
+/// What a packet is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketKind {
+    /// Application payload.
+    Data(DataInfo),
+    /// Transport acknowledgement.
+    Ack(AckInfo),
+    /// μFAB probe travelling source → destination, accumulating INT.
+    Probe(ProbeFrame),
+    /// μFAB response travelling destination → source.
+    Response(ProbeFrame),
+    /// μFAB finish probe deregistering a pair at switches (§3.6).
+    Finish(FinishFrame),
+    /// Echo of a finish probe carrying the per-switch acknowledgements.
+    FinishAck(FinishFrame),
+}
+
+impl PacketKind {
+    /// Short label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacketKind::Data(_) => "data",
+            PacketKind::Ack(_) => "ack",
+            PacketKind::Probe(_) => "probe",
+            PacketKind::Response(_) => "resp",
+            PacketKind::Finish(_) => "fin",
+            PacketKind::FinishAck(_) => "finack",
+        }
+    }
+
+    /// Convert a probe into its type-4 failure-notification form
+    /// (Appendix G); other kinds pass through unchanged.
+    pub fn into_failure(self) -> Self {
+        match self {
+            PacketKind::Probe(f) => PacketKind::Response(f.into_failure()),
+            other => other,
+        }
+    }
+
+    /// True for probe-plane packets (counted as probing overhead, Fig 15b).
+    pub fn is_probe_plane(&self) -> bool {
+        matches!(
+            self,
+            PacketKind::Probe(_)
+                | PacketKind::Response(_)
+                | PacketKind::Finish(_)
+                | PacketKind::FinishAck(_)
+        )
+    }
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// VM-pair the packet belongs to (`PairId(u32::MAX)` = none).
+    pub pair: PairId,
+    /// Tenant / VF.
+    pub tenant: TenantId,
+    /// Total bytes on the wire.
+    pub size: u32,
+    /// Payload / role.
+    pub kind: PacketKind,
+    /// Source route: egress port to take at each node, starting with the
+    /// sending host. Empty route falls back to per-node ECMP tables.
+    pub route: Vec<PortNo>,
+    /// Next index into `route` to consume.
+    pub hop: usize,
+    /// Congestion-experienced mark (set by queues above ECN threshold).
+    pub ecn: bool,
+    /// Maximum link utilisation seen along the path (informative-lite
+    /// stamping used by the Clove baseline).
+    pub max_util: f32,
+    /// Time the packet was (last) put on the wire by its source.
+    pub sent_at: Time,
+}
+
+impl Packet {
+    /// Route hops remaining, if source-routed.
+    pub fn hops_left(&self) -> usize {
+        self.route.len().saturating_sub(self.hop)
+    }
+
+    /// Build the reverse source route for a reply, given the reply
+    /// originator's egress port back towards the last switch.
+    ///
+    /// The forward route lists *egress* ports per node; replies in this
+    /// simulator are routed by the replying edge agent using its own route
+    /// table, so this helper is only used in tests.
+    pub fn is_routed(&self) -> bool {
+        !self.route.is_empty()
+    }
+}
+
+/// A `PairId` meaning "not pair traffic".
+pub const NO_PAIR: PairId = PairId(u32::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: PacketKind) -> Packet {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            pair: PairId(0),
+            tenant: TenantId(0),
+            size: 100,
+            kind,
+            route: vec![PortNo(0), PortNo(2)],
+            hop: 0,
+            ecn: false,
+            max_util: 0.0,
+            sent_at: 0,
+        }
+    }
+
+    #[test]
+    fn probe_plane_classification() {
+        let d = mk(PacketKind::Data(DataInfo {
+            seq: 0,
+            flow: FlowId(0),
+            payload: 42,
+            tag: 0,
+            retx: false,
+            msg_bytes: 0,
+            flow_start: 0,
+            reply_bytes: 0,
+        }));
+        assert!(!d.kind.is_probe_plane());
+        assert_eq!(d.kind.label(), "data");
+        let p = mk(PacketKind::Probe(ProbeFrame::probe(0, 0, 1.0, 0.0, 0)));
+        assert!(p.kind.is_probe_plane());
+        assert_eq!(p.kind.label(), "probe");
+    }
+
+    #[test]
+    fn hops_left_counts_down() {
+        let mut p = mk(PacketKind::Ack(AckInfo {
+            seq: 0,
+            cum: 0,
+            echo_ts: 0,
+            ecn: false,
+            max_util: 0.0,
+            grant_bps: 0.0,
+            payload: 0,
+        }));
+        assert_eq!(p.hops_left(), 2);
+        p.hop = 1;
+        assert_eq!(p.hops_left(), 1);
+        p.hop = 5;
+        assert_eq!(p.hops_left(), 0);
+        assert!(p.is_routed());
+    }
+}

@@ -1,0 +1,54 @@
+//! Simulation time: `u64` nanoseconds.
+
+/// Absolute simulation time / durations in nanoseconds.
+pub type Time = u64;
+
+/// One microsecond.
+pub const US: Time = 1_000;
+/// One millisecond.
+pub const MS: Time = 1_000_000;
+/// One second.
+pub const SEC: Time = 1_000_000_000;
+
+/// Serialization delay of `bytes` on a link of `cap_bps` bits/sec,
+/// rounded up to the next nanosecond (never zero for a non-empty packet).
+pub fn tx_time(bytes: u32, cap_bps: u64) -> Time {
+    debug_assert!(cap_bps > 0, "zero-capacity link");
+    let bits = bytes as u128 * 8;
+    ((bits * 1_000_000_000 + cap_bps as u128 - 1) / cap_bps as u128) as Time
+}
+
+/// Bandwidth-delay product in bytes for a link/path of `cap_bps` and
+/// round-trip `rtt_ns`.
+pub fn bdp_bytes(cap_bps: u64, rtt_ns: Time) -> u64 {
+    (cap_bps as u128 * rtt_ns as u128 / 8 / 1_000_000_000) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_10g() {
+        // 1500 B at 10 Gbps = 1.2 us.
+        assert_eq!(tx_time(1500, 10_000_000_000), 1200);
+        // 1 B at 100 Gbps rounds up to 1 ns (0.08 ns true).
+        assert_eq!(tx_time(1, 100_000_000_000), 1);
+        assert_eq!(tx_time(0, 10_000_000_000), 0);
+    }
+
+    #[test]
+    fn tx_time_no_overflow_at_extremes() {
+        // Max packet on a 1 Mbps link.
+        let t = tx_time(u32::MAX, 1_000_000);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn bdp() {
+        // 10 Gbps x 24 us = 30 KB.
+        assert_eq!(bdp_bytes(10_000_000_000, 24 * US), 30_000);
+        // 100 Gbps x 24 us = 300 KB.
+        assert_eq!(bdp_bytes(100_000_000_000, 24 * US), 300_000);
+    }
+}

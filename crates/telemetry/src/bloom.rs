@@ -1,0 +1,178 @@
+//! The 2-way-hashing Bloom filter used by μFAB-C (§4.2).
+//!
+//! The paper: "μFAB-C adopts a Bloom filter with two memory banks running in
+//! parallel. With a 2-way hashing Bloom filter of 20 KB, μFAB-C supports a
+//! moderate of 20 K distinct VM-pairs with less than 5 % false positives."
+//!
+//! Each bank holds `m` bits and one independent hash function; membership
+//! requires the bit set in *both* banks — exactly a Bloom filter with k = 2
+//! whose two hash ranges live in separate memories so a Tofino pipeline can
+//! probe them in one pass.
+
+/// A two-bank (k = 2) Bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct TwoBankBloom {
+    bank_a: Vec<u64>,
+    bank_b: Vec<u64>,
+    bits_per_bank: usize,
+    inserted: u64,
+}
+
+/// SplitMix64 — a solid, cheap 64-bit mixer (public-domain construction).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TwoBankBloom {
+    /// Build a filter of `total_bytes` split evenly across the two banks.
+    ///
+    /// The paper's deployment is `TwoBankBloom::new(20 * 1024)`.
+    ///
+    /// # Panics
+    /// Panics if `total_bytes < 16` (needs at least one word per bank).
+    pub fn new(total_bytes: usize) -> Self {
+        assert!(total_bytes >= 16, "bloom filter too small");
+        let words_per_bank = total_bytes / 16; // bytes / 2 banks / 8 B per word
+        Self {
+            bank_a: vec![0; words_per_bank],
+            bank_b: vec![0; words_per_bank],
+            bits_per_bank: words_per_bank * 64,
+            inserted: 0,
+        }
+    }
+
+    fn positions(&self, key: u64) -> (usize, usize) {
+        let ha = splitmix64(key ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let hb = splitmix64(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0);
+        (
+            (ha % self.bits_per_bank as u64) as usize,
+            (hb % self.bits_per_bank as u64) as usize,
+        )
+    }
+
+    /// Insert a key. Returns `true` if the key *appeared already present*
+    /// (i.e. this would have been reported as a member before inserting —
+    /// either a duplicate or a false positive).
+    pub fn insert(&mut self, key: u64) -> bool {
+        let (pa, pb) = self.positions(key);
+        let was = self.test_bit(&self.bank_a, pa) && self.test_bit(&self.bank_b, pb);
+        Self::set_bit(&mut self.bank_a, pa);
+        Self::set_bit(&mut self.bank_b, pb);
+        if !was {
+            self.inserted += 1;
+        }
+        was
+    }
+
+    /// Membership query.
+    pub fn contains(&self, key: u64) -> bool {
+        let (pa, pb) = self.positions(key);
+        self.test_bit(&self.bank_a, pa) && self.test_bit(&self.bank_b, pb)
+    }
+
+    /// Remove every entry (used by the periodic §4.2 idle-cleanup rebuild).
+    pub fn clear(&mut self) {
+        self.bank_a.fill(0);
+        self.bank_b.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Number of apparently-new insertions since the last clear.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Size of one bank in bits.
+    pub fn bits_per_bank(&self) -> usize {
+        self.bits_per_bank
+    }
+
+    /// Theoretical false-positive rate after `n` distinct insertions:
+    /// `(1 − e^(−n/m))²` for k = 2 with independent banks of `m` bits.
+    pub fn expected_fp_rate(&self, n: u64) -> f64 {
+        let m = self.bits_per_bank as f64;
+        let p = 1.0 - (-(n as f64) / m).exp();
+        p * p
+    }
+
+    fn test_bit(&self, bank: &[u64], pos: usize) -> bool {
+        bank[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    fn set_bit(bank: &mut [u64], pos: usize) {
+        bank[pos / 64] |= 1 << (pos % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = TwoBankBloom::new(20 * 1024);
+        for k in 0..20_000u64 {
+            bf.insert(k);
+        }
+        for k in 0..20_000u64 {
+            assert!(bf.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_under_5_percent_fp() {
+        // 20 KB filter, 20 K distinct pairs — the paper claims <5 % FP.
+        let mut bf = TwoBankBloom::new(20 * 1024);
+        for k in 0..20_000u64 {
+            bf.insert(k);
+        }
+        let mut fp = 0usize;
+        let probes = 100_000u64;
+        for k in 1_000_000..1_000_000 + probes {
+            if bf.contains(k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "observed FP rate {rate}");
+        // And the analytic expectation agrees on the order of magnitude.
+        let expected = bf.expected_fp_rate(20_000);
+        assert!(expected < 0.05, "analytic FP {expected}");
+        assert!((rate - expected).abs() < 0.03);
+    }
+
+    #[test]
+    fn insert_reports_prior_presence() {
+        let mut bf = TwoBankBloom::new(1024);
+        assert!(!bf.insert(42));
+        assert!(bf.insert(42)); // duplicate now appears present
+        assert_eq!(bf.inserted(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = TwoBankBloom::new(1024);
+        bf.insert(7);
+        assert!(bf.contains(7));
+        bf.clear();
+        assert!(!bf.contains(7));
+        assert_eq!(bf.inserted(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_filter() {
+        TwoBankBloom::new(8);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = TwoBankBloom::new(1024);
+        for k in 0..1000 {
+            assert!(!bf.contains(k));
+        }
+    }
+}

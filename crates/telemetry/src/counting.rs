@@ -1,0 +1,136 @@
+//! Counting variant of the two-bank Bloom filter.
+//!
+//! §3.6 requires switches to *adjust* Φ_l/W_l when a finish probe
+//! deregisters a VM-pair, which a plain bit-vector Bloom filter cannot
+//! express (bits are shared). A counting filter with small per-cell
+//! counters supports remove; the paper's P4 implementation uses two
+//! register banks, which map to exactly this structure with saturating
+//! 8-bit cells. False positives behave identically to the bit variant.
+
+/// A two-bank counting Bloom filter (k = 2) over `u64` keys with 8-bit
+/// saturating cells.
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    bank_a: Vec<u8>,
+    bank_b: Vec<u8>,
+    cells_per_bank: usize,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl CountingBloom {
+    /// Build a filter using `total_bytes` of counter memory (half per bank,
+    /// one byte per cell).
+    ///
+    /// # Panics
+    /// Panics if `total_bytes < 2`.
+    pub fn new(total_bytes: usize) -> Self {
+        assert!(total_bytes >= 2, "counting bloom too small");
+        let cells = total_bytes / 2;
+        Self {
+            bank_a: vec![0; cells],
+            bank_b: vec![0; cells],
+            cells_per_bank: cells,
+        }
+    }
+
+    fn positions(&self, key: u64) -> (usize, usize) {
+        let ha = mix(key ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let hb = mix(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0);
+        (
+            (ha % self.cells_per_bank as u64) as usize,
+            (hb % self.cells_per_bank as u64) as usize,
+        )
+    }
+
+    /// Insert a key; returns `true` if it already appeared present
+    /// (duplicate or false positive).
+    pub fn insert(&mut self, key: u64) -> bool {
+        let (pa, pb) = self.positions(key);
+        let was = self.bank_a[pa] > 0 && self.bank_b[pb] > 0;
+        self.bank_a[pa] = self.bank_a[pa].saturating_add(1);
+        self.bank_b[pb] = self.bank_b[pb].saturating_add(1);
+        was
+    }
+
+    /// Remove one occurrence of a key (no-op on zero cells, so a stray
+    /// finish probe cannot underflow shared counters).
+    pub fn remove(&mut self, key: u64) {
+        let (pa, pb) = self.positions(key);
+        self.bank_a[pa] = self.bank_a[pa].saturating_sub(1);
+        self.bank_b[pb] = self.bank_b[pb].saturating_sub(1);
+    }
+
+    /// Membership query (with Bloom false positives, no false negatives
+    /// while inserted keys stay below the 255 saturation point).
+    pub fn contains(&self, key: u64) -> bool {
+        let (pa, pb) = self.positions(key);
+        self.bank_a[pa] > 0 && self.bank_b[pb] > 0
+    }
+
+    /// Reset all cells.
+    pub fn clear(&mut self) {
+        self.bank_a.fill(0);
+        self.bank_b.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut cb = CountingBloom::new(4096);
+        assert!(!cb.contains(5));
+        cb.insert(5);
+        assert!(cb.contains(5));
+        cb.remove(5);
+        assert!(!cb.contains(5));
+    }
+
+    #[test]
+    fn duplicate_counting() {
+        let mut cb = CountingBloom::new(4096);
+        assert!(!cb.insert(9));
+        assert!(cb.insert(9)); // second insert sees it present
+        cb.remove(9);
+        assert!(cb.contains(9)); // one occurrence left
+        cb.remove(9);
+        assert!(!cb.contains(9));
+    }
+
+    #[test]
+    fn remove_never_underflows() {
+        let mut cb = CountingBloom::new(128);
+        cb.remove(1);
+        cb.remove(1);
+        assert!(!cb.contains(1));
+        cb.insert(1);
+        assert!(cb.contains(1));
+    }
+
+    #[test]
+    fn no_false_negatives_at_load() {
+        let mut cb = CountingBloom::new(20 * 1024);
+        for k in 0..5_000u64 {
+            cb.insert(k);
+        }
+        for k in 0..5_000u64 {
+            assert!(cb.contains(k));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cb = CountingBloom::new(128);
+        cb.insert(3);
+        cb.clear();
+        assert!(!cb.contains(3));
+    }
+}

@@ -1,0 +1,34 @@
+//! In-band network telemetry primitives for μFAB.
+//!
+//! This crate holds everything §3.2/§3.6/§4.2 and Appendix G of the paper
+//! define about the *information* layer, independent of the simulator:
+//!
+//! * [`frame`] — the logical probe / response / finish frames carried by
+//!   simulator packets, including the per-hop INT records (link capacity,
+//!   queue size, TX rate, total subscription Φ_l, total window W_l).
+//! * [`wire`] — the bit-accurate Appendix-G packet layout. The simulator
+//!   moves logical frames around for fidelity of *values*, but probe packet
+//!   *sizes* (and therefore Fig 15b's bandwidth overhead) are computed from
+//!   this encoding, and encode/decode round-trips are tested to the
+//!   quantisation step.
+//! * [`bloom`] — the 2-way-hashing Bloom filter μFAB-C uses to recognise
+//!   active VM-pairs (20 KB supports ≈20 K pairs at <5 % false positives).
+//! * [`rate`] — the per-port EWMA TX-rate estimator behind `tx_l`.
+//! * [`registers`] — the Φ_l / W_l register pair with saturating updates.
+
+#![deny(missing_docs)]
+
+pub mod bloom;
+pub mod counting;
+pub mod frame;
+pub mod rate;
+pub mod registers;
+pub mod timed;
+pub mod wire;
+
+pub use bloom::TwoBankBloom;
+pub use counting::CountingBloom;
+pub use timed::TimedBloom;
+pub use frame::{FinishFrame, HopInfo, ProbeFrame, ProbeKind};
+pub use rate::RateEstimator;
+pub use registers::DemandRegisters;

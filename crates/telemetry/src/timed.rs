@@ -1,0 +1,125 @@
+//! Timing Bloom filter (§3.6's "other advanced streaming algorithms,
+//! such as timing Bloom filter [61], for better efficiency").
+//!
+//! Instead of bits, each cell holds the last time its key family was
+//! seen; membership means "seen within the last `window`". Idle entries
+//! age out automatically — no explicit per-epoch rebuild, no finish-probe
+//! dependence for reclaiming silently-dead VM-pairs. The trade-off is
+//! 32 bits per cell instead of 1.
+
+/// A two-bank timing Bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct TimedBloom {
+    bank_a: Vec<u64>,
+    bank_b: Vec<u64>,
+    cells_per_bank: usize,
+    window_ns: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TimedBloom {
+    /// Build a filter using `total_bytes` of timestamp memory (8 bytes per
+    /// cell, two banks). Entries expire after `window_ns` of silence.
+    ///
+    /// # Panics
+    /// Panics if `total_bytes < 16` or `window_ns == 0`.
+    pub fn new(total_bytes: usize, window_ns: u64) -> Self {
+        assert!(total_bytes >= 16, "timed bloom too small");
+        assert!(window_ns > 0, "zero expiry window");
+        let cells = total_bytes / 16;
+        Self {
+            bank_a: vec![0; cells],
+            bank_b: vec![0; cells],
+            cells_per_bank: cells,
+            window_ns,
+        }
+    }
+
+    fn positions(&self, key: u64) -> (usize, usize) {
+        let ha = mix(key ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let hb = mix(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0);
+        (
+            (ha % self.cells_per_bank as u64) as usize,
+            (hb % self.cells_per_bank as u64) as usize,
+        )
+    }
+
+    /// Record `key` as seen at `now`; returns whether it already appeared
+    /// present (refresh or false positive).
+    pub fn touch(&mut self, now: u64, key: u64) -> bool {
+        let was = self.contains(now, key);
+        let (pa, pb) = self.positions(key);
+        self.bank_a[pa] = now.max(1);
+        self.bank_b[pb] = now.max(1);
+        was
+    }
+
+    /// Was `key` seen within the expiry window before `now`?
+    pub fn contains(&self, now: u64, key: u64) -> bool {
+        let (pa, pb) = self.positions(key);
+        let fresh = |t: u64| t != 0 && now.saturating_sub(t) <= self.window_ns;
+        fresh(self.bank_a[pa]) && fresh(self.bank_b[pb])
+    }
+
+    /// The expiry window.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 1_000_000; // 1 ms window
+
+    #[test]
+    fn fresh_entries_present_stale_expire() {
+        let mut tb = TimedBloom::new(4096, W);
+        assert!(!tb.touch(10, 42));
+        assert!(tb.contains(10, 42));
+        assert!(tb.contains(10 + W, 42)); // boundary inclusive
+        assert!(!tb.contains(11 + W, 42)); // expired
+    }
+
+    #[test]
+    fn touching_refreshes() {
+        let mut tb = TimedBloom::new(4096, W);
+        tb.touch(0, 7);
+        assert!(tb.touch(W / 2, 7)); // refresh reports presence
+        assert!(tb.contains(W + W / 4, 7)); // still fresh thanks to refresh
+        assert!(!tb.contains(2 * W + 1, 7));
+    }
+
+    #[test]
+    fn no_false_negatives_within_window() {
+        let mut tb = TimedBloom::new(64 * 1024, W);
+        for k in 0..5_000u64 {
+            tb.touch(100, k);
+        }
+        for k in 0..5_000u64 {
+            assert!(tb.contains(500, k));
+        }
+    }
+
+    #[test]
+    fn time_zero_cells_never_match() {
+        let tb = TimedBloom::new(4096, W);
+        for k in 0..100 {
+            assert!(!tb.contains(0, k));
+            assert!(!tb.contains(W, k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero expiry")]
+    fn zero_window_rejected() {
+        TimedBloom::new(4096, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for topology path machinery.
+
+use netsim::builder::LinkSpec;
+use proptest::prelude::*;
+use topology::{three_tier, ThreeTierCfg};
+
+fn arb_cfg() -> impl Strategy<Value = ThreeTierCfg> {
+    (1usize..3, 1usize..4, 1usize..4, 1usize..3, 1usize..3).prop_map(
+        |(pods, tors, hosts, aggs, cpa)| ThreeTierCfg {
+            pods,
+            tors_per_pod: tors,
+            hosts_per_tor: hosts,
+            aggs_per_pod: aggs,
+            cores: aggs * cpa,
+            host_gbps: 10,
+            fabric_gbps: 10,
+            prop_ns: 1000,
+            buf_bytes: 1 << 22,
+            mtu: 1500,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every enumerated path is a valid walk from src to dst over existing
+    /// ports, has minimal length, and its reverse is a valid walk back.
+    #[test]
+    fn paths_are_valid_shortest_and_reversible(cfg in arb_cfg(), seed in 0u64..1000) {
+        let topo = three_tier(cfg);
+        let n = topo.hosts.len();
+        prop_assume!(n >= 2);
+        let src = topo.hosts[(seed as usize) % n];
+        let dst = topo.hosts[(seed as usize * 7 + 1) % n];
+        prop_assume!(src != dst);
+        let paths = topo.paths(src, dst, 32);
+        prop_assert!(!paths.is_empty());
+        let min_len = paths.iter().map(|p| p.n_links()).min().unwrap();
+        for p in &paths {
+            prop_assert_eq!(p.n_links(), min_len, "non-shortest path enumerated");
+            // Walking the route lands at dst.
+            let nodes = topo.walk_route(src, &p.route());
+            prop_assert_eq!(*nodes.last().unwrap(), dst);
+            // The reverse route walks back to src.
+            let rev = topo.reverse_route(src, &p.route());
+            let back = topo.walk_route(dst, &rev);
+            prop_assert_eq!(*back.last().unwrap(), src);
+            // Double reversal is the identity.
+            let fwd_again = topo.reverse_route(dst, &rev);
+            prop_assert_eq!(fwd_again, p.route());
+        }
+    }
+
+    /// baseRTT is symmetric for symmetric link speeds and positive.
+    #[test]
+    fn base_rtt_positive_and_symmetric(cfg in arb_cfg(), seed in 0u64..1000) {
+        let topo = three_tier(cfg);
+        let n = topo.hosts.len();
+        prop_assume!(n >= 2);
+        let a = topo.hosts[(seed as usize) % n];
+        let b = topo.hosts[(seed as usize * 13 + 1) % n];
+        prop_assume!(a != b);
+        let ab = topo.base_rtt(a, b);
+        let ba = topo.base_rtt(b, a);
+        prop_assert!(ab > 0);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Dumbbells of any width keep exactly one path crossing the waist.
+    #[test]
+    fn dumbbell_single_path(n in 1usize..8) {
+        let topo = topology::dumbbell(n, 10, 40);
+        let left = topo.hosts[0];
+        let right = topo.hosts[n];
+        let paths = topo.paths(left, right, 8);
+        prop_assert_eq!(paths.len(), 1);
+        prop_assert_eq!(paths[0].n_links(), 3);
+        let _ = LinkSpec::default();
+    }
+}

@@ -1,0 +1,183 @@
+//! Empirical distributions used by the evaluation workloads.
+
+use rand::Rng;
+
+/// A piecewise-linear empirical distribution defined by `(value, cdf)`
+/// knots with `cdf` ascending to 1.0.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    points: Vec<(f64, f64)>,
+}
+
+impl Empirical {
+    /// Build from knots.
+    ///
+    /// # Panics
+    /// Panics if the knots are empty, unsorted, or the last cdf ≠ 1.0.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty());
+        for w in points.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be non-decreasing");
+            assert!(w[0].0 <= w[1].0, "values must be non-decreasing");
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0"
+        );
+        Self { points }
+    }
+
+    /// Sample one value with linear interpolation between knots.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The value at cumulative probability `u`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = (0.0f64, 0.0f64);
+        for &(v, c) in &self.points {
+            if u <= c {
+                if c - prev.1 < 1e-12 {
+                    return v;
+                }
+                let f = (u - prev.1) / (c - prev.1);
+                return prev.0 + f * (v - prev.0);
+            }
+            prev = (v, c);
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Analytic mean of the piecewise-linear distribution.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        let mut prev = (0.0f64, 0.0f64);
+        for &(v, c) in &self.points {
+            let w = c - prev.1;
+            m += w * (prev.0 + v) / 2.0;
+            prev = (v, c);
+        }
+        m
+    }
+}
+
+/// The web-search flow-size distribution (DCTCP/CONGA lineage, the
+/// paper's [7]) — heavy-tailed: >50 % of flows under 100 KB, a few
+/// multi-MB elephants carrying most bytes. Values in bytes.
+pub fn websearch_flow_sizes() -> Empirical {
+    Empirical::new(vec![
+        (6_000.0, 0.15),
+        (13_000.0, 0.20),
+        (19_000.0, 0.30),
+        (33_000.0, 0.40),
+        (53_000.0, 0.53),
+        (133_000.0, 0.60),
+        (667_000.0, 0.70),
+        (1_333_000.0, 0.80),
+        (3_333_000.0, 0.90),
+        (6_667_000.0, 0.95),
+        (20_000_000.0, 0.98),
+        (30_000_000.0, 1.0),
+    ])
+}
+
+/// Key-value object sizes for the Memcached model (the paper's [10],
+/// Atikoglu et al.: small objects dominate, mean ≈ 2 KB). Values in bytes.
+pub fn kv_object_sizes() -> Empirical {
+    Empirical::new(vec![
+        (64.0, 0.20),
+        (128.0, 0.35),
+        (256.0, 0.50),
+        (512.0, 0.62),
+        (1_024.0, 0.72),
+        (2_048.0, 0.82),
+        (4_096.0, 0.90),
+        (8_192.0, 0.955),
+        (16_384.0, 0.985),
+        (65_536.0, 0.998),
+        (131_072.0, 1.0),
+    ])
+}
+
+/// Exponential inter-arrival with the given mean (ns) — Poisson arrivals.
+pub fn exp_interarrival<R: Rng>(rng: &mut R, mean_ns: f64) -> u64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    (-mean_ns * u.ln()).max(1.0) as u64
+}
+
+/// The per-pair flow arrival rate (flows/sec) that produces `load`
+/// (fraction of `link_bps`) with mean flow size `mean_bytes`, spread over
+/// `n_sources` sources sharing the link.
+pub fn arrival_rate_for_load(load: f64, link_bps: f64, mean_bytes: f64, n_sources: usize) -> f64 {
+    load * link_bps / (mean_bytes * 8.0) / n_sources.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let d = Empirical::new(vec![(10.0, 0.5), (20.0, 1.0)]);
+        assert!((d.quantile(0.25) - 5.0).abs() < 1e-9);
+        assert!((d.quantile(0.75) - 15.0).abs() < 1e-9);
+        assert_eq!(d.quantile(1.0), 20.0);
+        assert_eq!(d.quantile(2.0), 20.0);
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic() {
+        let d = websearch_flow_sizes();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += d.sample(&mut rng);
+        }
+        let emp = sum / n as f64;
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.05,
+            "empirical {emp:.0} vs analytic {ana:.0}"
+        );
+        // Heavy-tailed sanity: mean well above the median.
+        assert!(ana > 2.0 * d.quantile(0.5));
+    }
+
+    #[test]
+    fn kv_mean_is_about_2kb() {
+        let m = kv_object_sizes().mean();
+        assert!(
+            (1_000.0..4_000.0).contains(&m),
+            "KV mean {m:.0} should be ≈2 KB"
+        );
+    }
+
+    #[test]
+    fn poisson_interarrival_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mean = 50_000.0;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| exp_interarrival(&mut rng, mean)).sum();
+        let emp = sum as f64 / n as f64;
+        assert!((emp - mean).abs() / mean < 0.03, "mean {emp}");
+    }
+
+    #[test]
+    fn load_arithmetic() {
+        // 50 % of 10G with 1 MB flows over 10 sources:
+        // 5e9 / 8e6 = 625 flows/s total → 62.5 per source.
+        let r = arrival_rate_for_load(0.5, 10e9, 1e6, 10);
+        assert!((r - 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must end at 1.0")]
+    fn bad_cdf_rejected() {
+        Empirical::new(vec![(1.0, 0.4)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the μFAB reproduction.
+//!
+//! Re-exports every workspace crate so examples and downstream users can
+//! depend on a single package:
+//!
+//! ```
+//! use ufab_repro::ufab;
+//! let cfg = ufab::UfabConfig::default();
+//! assert!(cfg.target_utilization > 0.9);
+//! ```
+
+pub use baselines;
+pub use experiments;
+pub use metrics;
+pub use netsim;
+pub use telemetry;
+pub use topology;
+pub use ufab;
+pub use workloads;

@@ -1,0 +1,121 @@
+//! Appendix F: a VM-pair using multiple underlay paths.
+//!
+//! On an oversubscribed fabric where any single inter-pod path is
+//! narrower than a pair's demand, one stripe caps at a single path's
+//! capacity while four stripes (each independently path-managed by
+//! μFAB-E) recover most of the pod-to-pod bisection.
+
+use experiments::harness::{Runner, SystemKind, SLICE};
+use netsim::builder::LinkSpec;
+use netsim::MS;
+use topology::{Tier, Topo};
+use ufab::FabricSpec;
+use workloads::driver::Driver;
+use workloads::patterns::StripedBulkDriver;
+
+/// Two hosts joined by four parallel 2.5 G paths (host links 10 G):
+/// a single-path pair can get at most 2.5 G; four stripes can get ~9.5 G.
+fn parallel_paths_topo() -> Topo {
+    let mut t = Topo::new(1500);
+    let h0 = t.add_host();
+    let h1 = t.add_host();
+    let t0 = t.add_switch(Tier::Tor);
+    let t1 = t.add_switch(Tier::Tor);
+    let host_spec = LinkSpec::gbps(10, 1_000);
+    t.connect(h0, t0, host_spec);
+    t.connect(h1, t1, host_spec);
+    for _ in 0..4 {
+        let a = t.add_switch(Tier::Agg);
+        // 2.5 G middle links: build from the 10G spec with adjusted rate.
+        let mut narrow = LinkSpec::gbps(10, 1_000);
+        narrow.cap_bps = 2_500_000_000;
+        t.connect(t0, a, narrow);
+        t.connect(a, t1, narrow);
+    }
+    t
+}
+
+fn run_with_stripes(k: usize) -> f64 {
+    let topo = parallel_paths_topo();
+    let h0 = topo.hosts[0];
+    let mut fabric = FabricSpec::new(500e6);
+    let tenant = fabric.add_tenant("striped", 16.0); // 8 G hose
+    let a = fabric.add_vm(tenant, topo.hosts[0]);
+    let b = fabric.add_vm(tenant, topo.hosts[1]);
+    let stripes = fabric.add_striped_pairs(a, b, k);
+    let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 17, None, MS);
+    let mut driver = StripedBulkDriver::new(
+        vec![(MS, h0, stripes.clone(), 400_000_000, 0)],
+        0,
+    );
+    let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+    r.run(40 * MS, SLICE, &mut drivers);
+    stripes
+        .iter()
+        .map(|&p| r.pair_rate(p, 20 * MS, 40 * MS))
+        .sum()
+}
+
+#[test]
+fn stripes_recover_oversubscribed_bisection() {
+    let single = run_with_stripes(1);
+    let striped = run_with_stripes(4);
+    // One stripe is capped by a single 2.5 G path (≈2.4 G with headroom).
+    assert!(
+        single < 2.6e9,
+        "single stripe {:.2} G should cap at one path",
+        single / 1e9
+    );
+    assert!(single > 1.5e9, "single stripe {:.2} G too low", single / 1e9);
+    // Four stripes use four paths: ≥ 2.5× the single-path rate.
+    assert!(
+        striped > 2.5 * single,
+        "4 stripes {:.2} G vs single {:.2} G",
+        striped / 1e9,
+        single / 1e9
+    );
+}
+
+#[test]
+fn stripes_share_one_guarantee_via_gp() {
+    // All stripes belong to one VM hose: Guarantee Partitioning divides
+    // the 8 G hose across the active stripes, so the aggregate guarantee
+    // is unchanged by striping (no free capacity from adding stripes on
+    // a single shared path).
+    let topo = topology::dumbbell(1, 10, 10);
+    let h0 = topo.hosts[0];
+    let mut fabric = FabricSpec::new(500e6);
+    let tenant = fabric.add_tenant("striped", 4.0); // 2 G hose
+    let a = fabric.add_vm(tenant, topo.hosts[0]);
+    let b = fabric.add_vm(tenant, topo.hosts[1]);
+    let stripes = fabric.add_striped_pairs(a, b, 3);
+    // A competitor pair with the same hose shares the bottleneck.
+    let t2 = fabric.add_tenant("rival", 4.0);
+    let c = fabric.add_vm(t2, topo.hosts[0]);
+    let d = fabric.add_vm(t2, topo.hosts[1]);
+    let rival = fabric.add_pair(c, d);
+    let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 19, None, MS);
+    let mut striped = StripedBulkDriver::new(
+        vec![(MS, h0, stripes.clone(), 400_000_000, 0)],
+        0,
+    );
+    let mut rival_d = workloads::patterns::BulkDriver::new(
+        vec![(MS, h0, rival, 400_000_000, 0)],
+        1 << 40,
+    );
+    let mut drivers: [&mut dyn Driver; 2] = [&mut striped, &mut rival_d];
+    r.run(40 * MS, SLICE, &mut drivers);
+    let striped_total: f64 = stripes
+        .iter()
+        .map(|&p| r.pair_rate(p, 20 * MS, 40 * MS))
+        .sum();
+    let rival_rate = r.pair_rate(rival, 20 * MS, 40 * MS);
+    // Equal hoses ⇒ roughly equal halves despite 3 stripes vs 1 pair.
+    let ratio = striped_total / rival_rate;
+    assert!(
+        (0.6..1.8).contains(&ratio),
+        "striping must not multiply the guarantee: striped {:.2} G vs rival {:.2} G",
+        striped_total / 1e9,
+        rival_rate / 1e9
+    );
+}
