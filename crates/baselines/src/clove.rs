@@ -124,7 +124,7 @@ mod tests {
         c.feedback(0, 1, 0.8);
         assert_eq!(c.choose(10), 0);
         c.feedback(20, 0, 0.9); // path 0 now hot
-        // Pause longer than the gap → re-decide.
+                                // Pause longer than the gap → re-decide.
         assert_eq!(c.choose(500 * US), 1);
     }
 

@@ -285,8 +285,7 @@ impl BaselineEdge {
             // Greedy start at the NIC BDP (§2.2 Case-1's burst source).
             swift: SwiftState::with_initial(
                 base_rtt,
-                (self.nic_bps as f64 * base_rtt as f64 / 8.0 / 1e9)
-                    .max(self.mtu as f64),
+                (self.nic_bps as f64 * base_rtt as f64 / 8.0 / 1e9).max(self.mtu as f64),
             ),
             grant_bps: f64::INFINITY,
             base_rtt,
@@ -412,7 +411,11 @@ impl BaselineEdge {
     fn tick(&mut self, ctx: &mut EdgeCtx) {
         let now = ctx.now;
         self.gp_tick(now);
-        let ids: Vec<PairId> = self.pairs.keys().copied().collect();
+        // Sorted so pilot/timeout processing order is independent of
+        // HashMap hashing — keeps same-seed runs byte-identical across
+        // processes (checked by the determinism digest).
+        let mut ids: Vec<PairId> = self.pairs.keys().copied().collect();
+        ids.sort();
         let mut need_pump = false;
         for pair in ids {
             let (active, base, pilot_due) = {
@@ -427,9 +430,7 @@ impl BaselineEdge {
                 continue;
             }
             if self.ep.inflight(pair) > 0
-                && self
-                    .ep
-                    .check_timeouts(now, pair, self.cfg.rto_rtts * base)
+                && self.ep.check_timeouts(now, pair, self.cfg.rto_rtts * base)
             {
                 need_pump = true;
             }
@@ -493,9 +494,8 @@ impl EdgeAgent for BaselineEdge {
                 let res = self.ep.on_ack(ctx.now, pkt.pair, ack);
                 if let Some(p) = self.pairs.get_mut(&pkt.pair) {
                     if let Some(rtt) = res.rtt {
-                        let max_cwnd = 4.0 * p.paths[0].base_rtt as f64 / 1e9
-                            * ctx.nic.cap_bps as f64
-                            / 8.0;
+                        let max_cwnd =
+                            4.0 * p.paths[0].base_rtt as f64 / 1e9 * ctx.nic.cap_bps as f64 / 8.0;
                         p.swift.on_ack(
                             ctx.now,
                             rtt,
@@ -698,7 +698,12 @@ mod tests {
         let total = r0 + r1;
         assert!(total > 7.0e9, "total {:.2} Gbps", total / 1e9);
         let jain = metrics::jain_index(&[r0, r1]);
-        assert!(jain > 0.85, "jain {jain}: {:.2} vs {:.2}", r0 / 1e9, r1 / 1e9);
+        assert!(
+            jain > 0.85,
+            "jain {jain}: {:.2} vs {:.2}",
+            r0 / 1e9,
+            r1 / 1e9
+        );
     }
 
     use metrics::recorder::SharedRecorder;

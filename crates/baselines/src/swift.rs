@@ -159,7 +159,14 @@ mod tests {
         }
         assert_eq!(s.cwnd, cfg.min_cwnd_mtus * MTU as f64);
         for i in 0..10_000u64 {
-            s.on_ack(i * 24 * US + 2_000_000_000, 10 * US, 1.0, &cfg, MTU, 50_000.0);
+            s.on_ack(
+                i * 24 * US + 2_000_000_000,
+                10 * US,
+                1.0,
+                &cfg,
+                MTU,
+                50_000.0,
+            );
         }
         assert_eq!(s.cwnd, 50_000.0);
     }

@@ -1,0 +1,92 @@
+//! Observability overhead benchmarks.
+//!
+//! The flight recorder must be zero-cost when disabled: every record
+//! site is one branch on an `Option`, and the event-constructor closure
+//! is never evaluated. These benches drive the same contended event
+//! loop with the recorder (a) absent, (b) attached with every category
+//! masked off, and (c) fully recording — compare (a) vs the seed to
+//! confirm the instrumentation itself does not regress the simulator,
+//! and (a) vs (b)/(c) for the cost of opting in.
+
+use bench::scenario::dumbbell_contention;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use experiments::harness::SystemKind;
+use netsim::MS;
+use obs::{CategoryMask, ObsHandle};
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Disabled,
+    MaskedOff,
+    Recording,
+}
+
+fn event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_event_loop");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("disabled", Mode::Disabled),
+        ("masked_off", Mode::MaskedOff),
+        ("recording_64k", Mode::Recording),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut r = dumbbell_contention(SystemKind::Ufab, 1);
+                    match mode {
+                        Mode::Disabled => {}
+                        Mode::MaskedOff => {
+                            let h = ObsHandle::recording(65_536);
+                            h.recorder()
+                                .unwrap()
+                                .borrow_mut()
+                                .set_mask(CategoryMask::NONE);
+                            r.sim.set_obs(h);
+                        }
+                        Mode::Recording => {
+                            r.sim.set_obs(ObsHandle::recording(65_536));
+                        }
+                    }
+                    r
+                },
+                |mut r| {
+                    r.sim.run_until(2 * MS);
+                    black_box(r.sim.stats().events)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn record_site(c: &mut Criterion) {
+    // The raw per-call cost of a record site in isolation.
+    let disabled = ObsHandle::disabled();
+    let recording = ObsHandle::recording(4096);
+    c.bench_function("obs_rec_disabled", |b| {
+        b.iter(|| {
+            disabled.rec(obs::Category::Enqueue, black_box(1), || {
+                obs::Event::Custom {
+                    label: "bench",
+                    a: 1,
+                    b: 2,
+                }
+            })
+        });
+    });
+    c.bench_function("obs_rec_recording", |b| {
+        b.iter(|| {
+            recording.rec(obs::Category::Enqueue, black_box(1), || {
+                obs::Event::Custom {
+                    label: "bench",
+                    a: 1,
+                    b: 2,
+                }
+            })
+        });
+    });
+}
+
+criterion_group!(benches, event_loop, record_site);
+criterion_main!(benches);

@@ -32,6 +32,7 @@
 use netsim::agent::{PortView, SwitchAgent, SwitchCtx};
 use netsim::packet::{Packet, PacketKind};
 use netsim::Time;
+use obs::{Category, Event as ObsEvent, ObsHandle};
 use std::any::Any;
 use std::collections::HashMap;
 use telemetry::{CountingBloom, DemandRegisters, HopInfo};
@@ -69,6 +70,15 @@ impl PortSummary {
     pub fn n_pairs(&self) -> usize {
         self.pairs.len()
     }
+
+    /// Sum of the per-pair shadow contributions: (Σφ, Σw). The §3.6
+    /// conservation invariant says these equal the port's Φ_l / W_l
+    /// registers (up to float accumulation error).
+    pub fn pair_sums(&self) -> (f64, f64) {
+        self.pairs
+            .values()
+            .fold((0.0, 0.0), |(p, w), pr| (p + pr.phi, w + pr.w))
+    }
 }
 
 /// Counters exported for tests and the resource accounting harness.
@@ -93,6 +103,7 @@ pub struct UfabCore {
     cleanup_period: Time,
     /// Counters.
     pub stats: CoreStats,
+    obs: ObsHandle,
 }
 
 impl UfabCore {
@@ -105,12 +116,32 @@ impl UfabCore {
             bloom_bytes,
             cleanup_period,
             stats: CoreStats::default(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder handle (shared with the simulator's) so
+    /// register mutations leave a trace.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Summary for a port, if any probe has touched it.
     pub fn port_summary(&self, port: u16) -> Option<&PortSummary> {
         self.ports.get(&port)
+    }
+
+    /// All touched ports and their summaries (invariant checkers).
+    pub fn port_summaries(&self) -> impl Iterator<Item = (u16, &PortSummary)> {
+        self.ports.iter().map(|(&p, s)| (p, s))
+    }
+
+    /// Fault injection: mutable summary access so invariant-checker
+    /// tests can desynchronise the Φ_l/W_l registers from the per-pair
+    /// shadow state. Never called on the production path.
+    #[doc(hidden)]
+    pub fn port_summary_mut(&mut self, port: u16) -> Option<&mut PortSummary> {
+        self.ports.get_mut(&port)
     }
 
     /// Φ_l of a port (0 if untouched).
@@ -128,7 +159,6 @@ impl UfabCore {
             .map(|p| p.registers.w_total())
             .unwrap_or(0.0)
     }
-
 }
 
 impl SwitchAgent for UfabCore {
@@ -144,6 +174,7 @@ impl SwitchAgent for UfabCore {
                 self.stats.probes += 1;
                 let bytes = self.bloom_bytes;
                 let stats = &mut self.stats;
+                let obs = &self.obs;
                 let st = self
                     .ports
                     .entry(view.port.raw())
@@ -160,11 +191,14 @@ impl SwitchAgent for UfabCore {
                         // clears correctly.
                         st.bloom.remove(key);
                     } else {
+                        let (mut d_phi, mut d_w) = (frame.phi, frame.w);
                         if let Some(prev) = st.pairs.get(&frame.pair).copied() {
                             // Re-registration (e.g. probe retry): replace.
                             st.registers.add_phi(-prev.phi);
                             st.registers.add_w(-prev.w);
                             st.bloom.remove(key);
+                            d_phi -= prev.phi;
+                            d_w -= prev.w;
                         }
                         st.registers.add_phi(frame.phi);
                         st.registers.add_w(frame.w);
@@ -178,31 +212,60 @@ impl SwitchAgent for UfabCore {
                             },
                         );
                         stats.registrations += 1;
+                        let n_pairs = st.pairs.len() as u32;
+                        obs.rec(Category::Register, now, || ObsEvent::Register {
+                            switch: node,
+                            port: view.port.raw(),
+                            pair: frame.pair,
+                            d_phi,
+                            d_w,
+                            n_pairs,
+                        });
                     }
                 } else if frame.phi_delta != 0.0 || frame.w_delta != 0.0 {
-                    st.registers.add_phi(frame.phi_delta);
-                    st.registers.add_w(frame.w_delta);
-                    match st.pairs.get_mut(&frame.pair) {
+                    // Apply the *effective* delta (after the shadow map's
+                    // floor at zero) to the registers too, so Φ_l / W_l
+                    // stay exactly the sum of live registrations (§3.6
+                    // conservation).
+                    let (d_phi, d_w) = match st.pairs.get_mut(&frame.pair) {
                         Some(pr) => {
-                            pr.phi = (pr.phi + frame.phi_delta).max(0.0);
-                            pr.w = (pr.w + frame.w_delta).max(0.0);
+                            let new_phi = (pr.phi + frame.phi_delta).max(0.0);
+                            let new_w = (pr.w + frame.w_delta).max(0.0);
+                            let d = (new_phi - pr.phi, new_w - pr.w);
+                            pr.phi = new_phi;
+                            pr.w = new_w;
                             pr.last_seen = now;
+                            d
                         }
                         None => {
                             // Deltas for an unknown pair (registration was
                             // omitted or swept): start tracking what we see.
+                            let phi0 = frame.phi_delta.max(0.0);
+                            let w0 = frame.w_delta.max(0.0);
                             st.pairs.insert(
                                 frame.pair,
                                 PairReg {
-                                    phi: frame.phi_delta.max(0.0),
-                                    w: frame.w_delta.max(0.0),
+                                    phi: phi0,
+                                    w: w0,
                                     last_seen: now,
                                     epoch: frame.epoch,
                                 },
                             );
                             st.bloom.insert(key);
+                            (phi0, w0)
                         }
-                    }
+                    };
+                    st.registers.add_phi(d_phi);
+                    st.registers.add_w(d_w);
+                    let n_pairs = st.pairs.len() as u32;
+                    obs.rec(Category::Register, now, || ObsEvent::Register {
+                        switch: node,
+                        port: view.port.raw(),
+                        pair: frame.pair,
+                        d_phi,
+                        d_w,
+                        n_pairs,
+                    });
                 } else if let Some(pr) = st.pairs.get_mut(&frame.pair) {
                     // Pure telemetry read (candidate-path probe carries no
                     // deltas) still refreshes liveness for registered pairs.
@@ -239,6 +302,16 @@ impl SwitchAgent for UfabCore {
                         st.registers.add_phi(-pr.phi);
                         st.registers.add_w(-pr.w);
                         st.bloom.remove(frame.pair as u64);
+                        let n_pairs = st.pairs.len() as u32;
+                        self.obs
+                            .rec(Category::Register, now, || ObsEvent::Register {
+                                switch: node,
+                                port: view.port.raw(),
+                                pair: frame.pair,
+                                d_phi: -pr.phi,
+                                d_w: -pr.w,
+                                n_pairs,
+                            });
                     }
                 }
                 // Acknowledge (idempotent for unknown/stale epochs).
@@ -254,7 +327,9 @@ impl SwitchAgent for UfabCore {
             return;
         }
         let cutoff = ctx.now.saturating_sub(self.cleanup_period);
-        for st in self.ports.values_mut() {
+        let node = ctx.node.raw();
+        let obs = &self.obs;
+        for (&portno, st) in self.ports.iter_mut() {
             let stale: Vec<u32> = st
                 .pairs
                 .iter()
@@ -267,6 +342,15 @@ impl SwitchAgent for UfabCore {
                     st.registers.add_w(-pr.w);
                     st.bloom.remove(p as u64);
                     self.stats.swept += 1;
+                    let n_pairs = st.pairs.len() as u32;
+                    obs.rec(Category::Register, ctx.now, || ObsEvent::Register {
+                        switch: node,
+                        port: portno,
+                        pair: p,
+                        d_phi: -pr.phi,
+                        d_w: -pr.w,
+                        n_pairs,
+                    });
                 }
             }
         }

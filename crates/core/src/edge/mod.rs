@@ -32,6 +32,7 @@ use metrics::recorder::SharedRecorder;
 use netsim::agent::{EdgeAgent, EdgeCtx};
 use netsim::packet::{Packet, PacketKind};
 use netsim::{NodeId, PairId, PortNo, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD};
+use obs::{Category as ObsCategory, Event as ObsEvent, ObsHandle};
 use rand::Rng;
 use std::any::Any;
 use std::collections::HashMap;
@@ -175,6 +176,7 @@ pub struct UfabEdge {
     keepalive_cursor: u64,
     /// Counters.
     pub stats: EdgeStats,
+    obs: ObsHandle,
 }
 
 impl UfabEdge {
@@ -203,7 +205,14 @@ impl UfabEdge {
             reverse_cache: HashMap::new(),
             keepalive_cursor: 0,
             stats: EdgeStats::default(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder handle (shared with the simulator's) so
+    /// window updates and migrations leave a trace.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Submit a message directly (tests / drivers with agent access).
@@ -218,6 +227,16 @@ impl UfabEdge {
     /// Current admission window of a pair in bytes (tests/experiments).
     pub fn window_of(&self, pair: PairId) -> Option<f64> {
         self.pairs.get(&pair).map(|p| p.window)
+    }
+
+    /// Every pair this edge currently manages (invariant checkers).
+    pub fn pair_ids(&self) -> Vec<PairId> {
+        self.pairs.keys().copied().collect()
+    }
+
+    /// Link MTU this edge segments messages at.
+    pub fn mtu(&self) -> u32 {
+        self.mtu
     }
 
     /// Index of the pair's current candidate path (tests/experiments).
@@ -301,8 +320,7 @@ impl UfabEdge {
                 let r = if pc.telem[pc.cur].hops.is_empty() {
                     guar
                 } else {
-                    rate::path_share_rate(pc.phi_eff(), &pc.telem[pc.cur].hops, eta)
-                        .max(guar)
+                    rate::path_share_rate(pc.phi_eff(), &pc.telem[pc.cur].hops, eta).max(guar)
                 };
                 if self.cfg.bounded_latency {
                     pc.boot = Some(rate::bootstrap_window(r, t_s).max(floor));
@@ -619,8 +637,7 @@ impl UfabEdge {
                     // not keep an armed full-size window — re-enter the
                     // ramp from r·T so a sudden burst stays bounded.
                     if !window_limited && measured_tx < 0.9 * r_share {
-                        pc.boot =
-                            Some(rate::bootstrap_window(r_share, t_s).max(floor));
+                        pc.boot = Some(rate::bootstrap_window(r_share, t_s).max(floor));
                     }
                 }
             }
@@ -634,6 +651,18 @@ impl UfabEdge {
             let r_window = rate::bootstrap_window(r_share, t_s);
             pc.window = pc.window.max(r_window);
             pc.w_claim = pc.w_claim.max(r_window);
+        }
+        {
+            let (window, phi_r) = (pc.window, pc.phi_r);
+            let edge = self.host.raw();
+            self.obs
+                .rec(ObsCategory::Window, ctx.now, || ObsEvent::Window {
+                    edge,
+                    pair: pair.raw(),
+                    window,
+                    phi_s: phi,
+                    phi_r,
+                });
         }
         // ---- Guarantee violation bookkeeping (§3.5 trigger i) ----
         let bu = self.fabric.bu_bps;
@@ -803,8 +832,7 @@ impl UfabEdge {
         if all.len() <= pc.candidates.len() {
             return; // nothing new to draw from
         }
-        let existing: Vec<Vec<PortNo>> =
-            pc.candidates.iter().map(|c| c.route.clone()).collect();
+        let existing: Vec<Vec<PortNo>> = pc.candidates.iter().map(|c| c.route.clone()).collect();
         let fresh_paths: Vec<&topology::Path> = all
             .iter()
             .filter(|p| !existing.contains(&p.route()))
@@ -838,6 +866,17 @@ impl UfabEdge {
         }
         self.stats.migrations += 1;
         self.ep.recorder().borrow_mut().path_migrations += 1;
+        {
+            let (from, to) = (pc.cur as u8, new_idx as u8);
+            let edge = self.host.raw();
+            self.obs
+                .rec(ObsCategory::Migration, ctx.now, || ObsEvent::Migration {
+                    edge,
+                    pair: pair.raw(),
+                    from,
+                    to,
+                });
+        }
         // Deregister from the old path.
         if let Some(reg) = pc.registered.take() {
             let old = &pc.candidates[reg.path];
@@ -993,8 +1032,8 @@ impl UfabEdge {
                     .unwrap_or(false);
                 let idle_since = self.ep.last_activity(pair);
                 let rto_due = self.ep.inflight(pair) > 0;
-                let alt_due = pc.active
-                    && now.saturating_sub(pc.last_alt_probe) >= self.cfg.alt_probe_period;
+                let alt_due =
+                    pc.active && now.saturating_sub(pc.last_alt_probe) >= self.cfg.alt_probe_period;
                 let period_probe =
                     pc.active && self.cfg.probe_period_rtts.is_some() && pc.outstanding.is_none();
                 (
@@ -1060,8 +1099,7 @@ impl UfabEdge {
             .filter(|(_, pc)| {
                 pc.active
                     && pc.outstanding.is_none()
-                    && now.saturating_sub(pc.last_probe_sent)
-                        >= 4 * pc.cur_path().base_rtt
+                    && now.saturating_sub(pc.last_probe_sent) >= 4 * pc.cur_path().base_rtt
             })
             .map(|(id, _)| *id)
             .collect();
@@ -1155,8 +1193,7 @@ impl UfabEdge {
             if self.ep.inflight(pair) > pc.window as u64 {
                 // This send overshot the window (fractional credit): pace
                 // the next one so the average rate stays window/baseRTT.
-                let rate_bps =
-                    pc.window.max(1.0) * 8.0 / (pc.cur_path().base_rtt as f64 / 1e9);
+                let rate_bps = pc.window.max(1.0) * 8.0 / (pc.cur_path().base_rtt as f64 / 1e9);
                 let gap = (info.payload as f64 * 8.0 / rate_bps * 1e9) as Time;
                 pc.next_send_at = ctx.now + gap;
             }
@@ -1227,8 +1264,7 @@ impl EdgeAgent for UfabEdge {
             }
             PacketKind::Probe(frame) => {
                 // We are the destination: record demand, respond.
-                self.rx_demand
-                    .insert(pkt.pair, (frame.phi, ctx.now));
+                self.rx_demand.insert(pkt.pair, (frame.phi, ctx.now));
                 let admitted = self
                     .rx_admitted
                     .get(&pkt.pair)
@@ -1276,9 +1312,8 @@ impl EdgeAgent for UfabEdge {
             }
             PacketKind::FinishAck(frame) => {
                 if let Some(pc) = self.pairs.get_mut(&pkt.pair) {
-                    pc.pending_finish.retain(|pf| {
-                        !(frame.seq == pf.seq && frame.all_acked(pf.n_switch_hops))
-                    });
+                    pc.pending_finish
+                        .retain(|pf| !(frame.seq == pf.seq && frame.all_acked(pf.n_switch_hops)));
                 }
             }
         }

@@ -200,7 +200,7 @@ mod tests {
         assert!(path_qualified(&h9, 1.0, bu, ETA)); // 8+1 = 9 ≤ 9.5
         let h10 = vec![hop(9.0, 0.0, 0.0, 0, 10)];
         assert!(!path_qualified(&h10, 1.0, bu, ETA)); // 9+1 = 10 > 9.5
-        // Current path (already counted): no φ added.
+                                                      // Current path (already counted): no φ added.
         assert!(path_qualified(&h10, 0.0, bu, ETA));
     }
 

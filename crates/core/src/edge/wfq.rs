@@ -68,7 +68,10 @@ impl WfqScheduler {
     /// Add a pair under its tenant (idempotent). The tenant must be
     /// registered first.
     pub fn add_pair(&mut self, tenant: TenantId, pair: PairId) {
-        let t = self.tenants.get_mut(&tenant).expect("tenant not registered");
+        let t = self
+            .tenants
+            .get_mut(&tenant)
+            .expect("tenant not registered");
         if !t.pairs.contains(&pair) {
             t.pairs.push(pair);
         }

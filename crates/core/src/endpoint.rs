@@ -256,6 +256,16 @@ impl Endpoint {
         self.send.get(&pair).map(|s| s.inflight).unwrap_or(0)
     }
 
+    /// Fault injection: add phantom inflight bytes that no ack will ever
+    /// free. Exists so invariant-checker tests can corrupt edge
+    /// accounting deliberately; never called on the production path.
+    #[doc(hidden)]
+    pub fn inject_inflight(&mut self, pair: PairId, bytes: u64) {
+        if let Some(st) = self.send.get_mut(&pair) {
+            st.inflight += bytes;
+        }
+    }
+
     /// Pairs with sender state (ever submitted).
     pub fn sending_pairs(&self) -> Vec<PairId> {
         let mut v: Vec<PairId> = self.send.keys().copied().collect();
@@ -394,11 +404,7 @@ impl Endpoint {
         let mut rtt = None;
         let mut valid = false;
         // Cumulative edge plus the selectively acked seq.
-        let mut gone: Vec<u64> = st
-            .outstanding
-            .range(..ack.cum)
-            .map(|(&s, _)| s)
-            .collect();
+        let mut gone: Vec<u64> = st.outstanding.range(..ack.cum).map(|(&s, _)| s).collect();
         if ack.seq >= ack.cum && st.outstanding.contains_key(&ack.seq) {
             gone.push(ack.seq);
         }
@@ -466,9 +472,12 @@ impl Endpoint {
                 f.done = true;
             }
             let (start, tag, size, want_reply) = (f.start, f.tag, f.size, f.reply);
-            self.recorder
-                .borrow_mut()
-                .delivered(now, pkt.pair.raw(), tenant.raw(), d.payload as u64);
+            self.recorder.borrow_mut().delivered(
+                now,
+                pkt.pair.raw(),
+                tenant.raw(),
+                d.payload as u64,
+            );
             if completed {
                 self.recorder.borrow_mut().complete(Completion {
                     flow: d.flow.raw(),

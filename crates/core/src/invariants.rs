@@ -1,0 +1,170 @@
+//! Online invariant checkers for μFAB runs.
+//!
+//! Concrete [`obs::Invariant`] implementations with the simulator as
+//! context, registered into an [`obs::InvariantSuite`] by the
+//! experiment harness and evaluated on a timer. Each maps to a paper
+//! property:
+//!
+//! * [`RegisterConservation`] — §3.6: a port's Φ_l / W_l registers are
+//!   the sum of its live per-pair registrations.
+//! * [`EdgeAccounting`] — §3.4: an edge never *grows* a pair's inflight
+//!   beyond the admitted window (plus an MTU of pacing slack and a
+//!   retransmission credit).
+//! * [`BoundedQueueWatchdog`] — DESIGN §3: with two-stage admission,
+//!   switch queues stay around/below ~3 BDP.
+
+use crate::core_agent::UfabCore;
+use crate::edge::UfabEdge;
+use netsim::time::bdp_bytes;
+use netsim::{NodeId, PairId, Simulator, Time};
+use obs::Invariant;
+use std::collections::HashMap;
+
+/// §3.6 register conservation: for every switch port,
+/// `Φ_l == Σ φ(pair)` and `W_l == Σ w(pair)` over live registrations,
+/// up to float accumulation error.
+pub struct RegisterConservation {
+    /// Relative tolerance on the comparison (absolute floor of the same
+    /// magnitude is applied for near-zero sums).
+    pub rel_tol: f64,
+}
+
+impl Default for RegisterConservation {
+    fn default() -> Self {
+        // f64 accumulation over thousands of ± updates: 1e-6 relative
+        // is ~9 orders of magnitude above the error, ~6 below a real
+        // leak (one lost registration).
+        Self { rel_tol: 1e-6 }
+    }
+}
+
+impl Invariant<Simulator> for RegisterConservation {
+    fn name(&self) -> &'static str {
+        "register-conservation"
+    }
+
+    fn check(&mut self, sim: &Simulator, _t: u64) -> Result<(), String> {
+        for i in 0..sim.n_nodes() {
+            let node = NodeId(i as u32);
+            let Some(core) = sim.try_switch_agent::<UfabCore>(node) else {
+                continue;
+            };
+            for (port, st) in core.port_summaries() {
+                let (phi_sum, w_sum) = st.pair_sums();
+                let phi_reg = st.registers.phi_total();
+                let w_reg = st.registers.w_total();
+                let tol = |sum: f64| self.rel_tol * sum.abs().max(1.0);
+                if (phi_reg - phi_sum).abs() > tol(phi_sum) {
+                    return Err(format!(
+                        "switch {node} port {port}: Φ_l register {phi_reg:.9} != \
+                         Σφ over {} live pairs {phi_sum:.9} (Δ={:.3e})",
+                        st.n_pairs(),
+                        phi_reg - phi_sum
+                    ));
+                }
+                if (w_reg - w_sum).abs() > tol(w_sum) {
+                    return Err(format!(
+                        "switch {node} port {port}: W_l register {w_reg:.9} != \
+                         Σw over {} live pairs {w_sum:.9} (Δ={:.3e})",
+                        st.n_pairs(),
+                        w_reg - w_sum
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// §3.4 edge accounting: a pair's inflight bytes must not *grow* while
+/// above the admitted window. Inflight legitimately exceeds a window
+/// that just shrank (migration bootstrap, stage-2 clamp) — those bytes
+/// drain; the violation is continuing to send. We therefore flag a pair
+/// only when inflight exceeds `window + slack` *and* rose since the
+/// previous evaluation.
+#[derive(Default)]
+pub struct EdgeAccounting {
+    prev: HashMap<(u32, PairId), u64>,
+}
+
+impl Invariant<Simulator> for EdgeAccounting {
+    fn name(&self) -> &'static str {
+        "edge-window-accounting"
+    }
+
+    fn check(&mut self, sim: &Simulator, _t: u64) -> Result<(), String> {
+        let mut verdict = Ok(());
+        for i in 0..sim.n_nodes() {
+            let node = NodeId(i as u32);
+            let Some(edge) = sim.try_edge::<UfabEdge>(node) else {
+                continue;
+            };
+            // One MTU of pacing slack (the paced path admits a final
+            // packet below the window line) plus one window of
+            // retransmission credit: retransmits re-enter the NIC while
+            // their lost originals still count as inflight until the
+            // timeout/ack machinery reconciles them.
+            let mtu = edge.mtu() as u64;
+            for pair in edge.pair_ids() {
+                let window = edge.window_of(pair).unwrap_or(0.0);
+                let inflight = edge.ep.inflight(pair);
+                let allowed = 2.0 * window + (2 * mtu) as f64;
+                let grew = self
+                    .prev
+                    .get(&(node.raw(), pair))
+                    .is_none_or(|&p| inflight > p);
+                if inflight as f64 > allowed && grew && verdict.is_ok() {
+                    verdict = Err(format!(
+                        "edge {node} pair {pair}: inflight {inflight} B grew past \
+                         admitted window {window:.1} B (+slack => {allowed:.1} B)"
+                    ));
+                }
+                self.prev.insert((node.raw(), pair), inflight);
+            }
+        }
+        verdict
+    }
+}
+
+/// DESIGN §3 bounded queues: every port's instantaneous queue stays
+/// below `factor × BDP` (default 3 BDP with a 2× detection margin).
+pub struct BoundedQueueWatchdog {
+    /// Fabric round-trip used to size the BDP.
+    pub rtt_ns: Time,
+    /// Multiples of BDP tolerated before firing.
+    pub factor: f64,
+}
+
+impl BoundedQueueWatchdog {
+    /// Watchdog for a fabric with base RTT `rtt_ns`, firing above
+    /// `factor` BDPs (the paper's steady-state bound is ~3; use a
+    /// margin above that to separate "bounded" from "runaway").
+    pub fn new(rtt_ns: Time, factor: f64) -> Self {
+        Self { rtt_ns, factor }
+    }
+}
+
+impl Invariant<Simulator> for BoundedQueueWatchdog {
+    fn name(&self) -> &'static str {
+        "bounded-queue-watchdog"
+    }
+
+    fn check(&mut self, sim: &Simulator, _t: u64) -> Result<(), String> {
+        for i in 0..sim.n_nodes() {
+            let node = NodeId(i as u32);
+            for p in 0..sim.n_ports(node) {
+                let port = sim.port(node, netsim::PortNo(p as u16));
+                let bdp = bdp_bytes(port.cap_bps, self.rtt_ns).max(1);
+                let limit = (self.factor * bdp as f64) as u64;
+                if port.q_bytes > limit {
+                    return Err(format!(
+                        "node {node} port {p}: queue {} B exceeds {}×BDP = {} B \
+                         (cap {} bps, rtt {} ns)",
+                        port.q_bytes, self.factor, limit, port.cap_bps, self.rtt_ns
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -52,6 +52,7 @@ pub mod core_agent;
 pub mod edge;
 pub mod endpoint;
 pub mod fabric;
+pub mod invariants;
 pub mod resources;
 pub mod theory;
 pub mod tokens;

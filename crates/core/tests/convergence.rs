@@ -41,7 +41,10 @@ fn build(
         .chain(topo.aggs.iter())
         .chain(topo.cores.iter())
     {
-        sim.set_switch_agent(s, Box::new(UfabCore::new(cfg.bloom_bytes, cfg.core_cleanup_period)));
+        sim.set_switch_agent(
+            s,
+            Box::new(UfabCore::new(cfg.bloom_bytes, cfg.core_cleanup_period)),
+        );
     }
     (sim, topo, fabric, rec)
 }
@@ -97,7 +100,10 @@ fn token_proportional_sharing_1_2_5() {
     let (mut sim, _topo, _fabric, rec) = build(topo, fabric, &cfg, 2);
     sim.start();
     for (i, &p) in pairs.iter().enumerate() {
-        sim.inject(hosts[i], Box::new(AppMsg::oneway(i as u64, p, 400_000_000, 0)));
+        sim.inject(
+            hosts[i],
+            Box::new(AppMsg::oneway(i as u64, p, 400_000_000, 0)),
+        );
     }
     sim.run_until(40 * MS);
     let r: Vec<f64> = pairs
@@ -177,7 +183,10 @@ fn incast_latency_bounded() {
     sim.start();
     // Synchronized start — the worst case of §3.4.
     for (i, &p) in pairs.iter().enumerate() {
-        sim.inject(srcs[i], Box::new(AppMsg::oneway(i as u64, p, 40_000_000, 0)));
+        sim.inject(
+            srcs[i],
+            Box::new(AppMsg::oneway(i as u64, p, 40_000_000, 0)),
+        );
     }
     sim.run_until(40 * MS);
     let mut rtts = rec.borrow_mut().rtts.clone();

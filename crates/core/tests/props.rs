@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use ufab::theory::{weighted_max_min, TheoryFlow};
-use ufab::tokens::{multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens};
+use ufab::tokens::{
+    multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens,
+};
 
 const BU: f64 = 500e6;
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [SCENARIO...] [--full] [--seed N] [--servers N]
+//!       [--trace [EVENTS]] [--check-invariants]
 //!
 //! SCENARIO ∈ fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b fig16
 //!            fig17 fig18ab fig18c fig20 table3 table4 tokens all
@@ -9,6 +10,13 @@
 //!
 //! Default (no scenario): `all` in quick mode. `--full` runs paper-scale
 //! parameters (slower). CSV mirrors land in `results/`.
+//!
+//! `--trace` attaches a flight recorder (default 65536 events) and the
+//! determinism digest to every run and prints a drop/ECN/retransmit
+//! breakdown per system; `--check-invariants` additionally evaluates the
+//! online invariant suite (register conservation, edge window
+//! accounting, bounded-queue watchdog) every 250 μs of simulated time
+//! and exits non-zero if any invariant fires.
 
 use experiments::scenarios::{
     ablation, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig20, fig4,
@@ -39,9 +47,22 @@ fn main() {
                         .expect("servers must be an integer"),
                 );
             }
+            "--trace" => {
+                // Optional capacity operand: `--trace 8192`.
+                let cap = it
+                    .peek()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(65_536);
+                scale.trace = Some(cap);
+            }
+            "--check-invariants" => scale.check_invariants = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N]\n\
+                    "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N] \
+                     [--trace [EVENTS]] [--check-invariants]\n\
                      scenarios: fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b \
                      fig16 fig17 fig18ab fig18c fig20 table3 table4 tokens ablate all"
                 );
@@ -110,4 +131,11 @@ fn main() {
         ablation::run(scale);
     }
     eprintln!("\n[repro finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    if scale.check_invariants {
+        let v = experiments::scenarios::common::total_violations();
+        eprintln!("[invariants: {v} violation(s)]");
+        if v > 0 {
+            std::process::exit(1);
+        }
+    }
 }

@@ -4,9 +4,11 @@ use baselines::edge::{BaselineCfg, BaselineEdge};
 use metrics::recorder::{self, SharedRecorder};
 use metrics::Percentiles;
 use netsim::{NodeId, PairId, PortNo, Simulator, Time, MS, US};
+use obs::{InvariantSuite, ObsHandle};
 use std::rc::Rc;
 use topology::Topo;
 use ufab::endpoint::AppMsg;
+use ufab::invariants::{BoundedQueueWatchdog, EdgeAccounting, RegisterConservation};
 use ufab::{FabricSpec, UfabConfig, UfabCore, UfabEdge};
 use workloads::driver::{Driver, WorkloadPort};
 
@@ -63,6 +65,12 @@ pub struct Runner {
     pub queue_samples: Percentiles,
     /// Per-slice maximum watched queue depth time series `(t, bytes)`.
     pub queue_series: Vec<(Time, u64)>,
+    /// Flight-recorder handle shared with the simulator and agents
+    /// (disabled unless [`Runner::enable_trace`] is called).
+    pub obs: ObsHandle,
+    /// Online invariant checkers, evaluated between run slices when
+    /// installed via [`Runner::enable_invariants`].
+    pub invariants: Option<InvariantSuite<Simulator>>,
 }
 
 impl Runner {
@@ -161,6 +169,88 @@ impl Runner {
             queue_watch: Vec::new(),
             queue_samples: Percentiles::new(),
             queue_series: Vec::new(),
+            obs: ObsHandle::disabled(),
+            invariants: None,
+        }
+    }
+
+    /// Attach a flight recorder of `capacity` events to the simulator
+    /// and every μFAB agent (baseline edges keep the simulator-level
+    /// packet/link trace only), and start the determinism digest.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        let obs = ObsHandle::recording(capacity);
+        self.sim.set_obs(obs.clone());
+        self.sim.enable_det_hash();
+        if self.system.is_ufab() {
+            for i in 0..self.topo.hosts.len() {
+                let h = self.topo.hosts[i];
+                self.sim.edge_mut::<UfabEdge>(h).set_obs(obs.clone());
+            }
+            let switches: Vec<NodeId> = self
+                .topo
+                .tors
+                .iter()
+                .chain(self.topo.aggs.iter())
+                .chain(self.topo.cores.iter())
+                .copied()
+                .collect();
+            for s in switches {
+                self.sim
+                    .switch_agent_mut::<UfabCore>(s)
+                    .set_obs(obs.clone());
+            }
+        }
+        self.obs = obs;
+    }
+
+    /// Register the standard invariant suite (register conservation,
+    /// edge window accounting, bounded-queue watchdog), evaluated every
+    /// `period` of simulated time between run slices.
+    pub fn enable_invariants(&mut self, period: Time) {
+        let mut suite = InvariantSuite::new(period);
+        if self.system.is_ufab() {
+            suite.register(Box::new(RegisterConservation::default()));
+            suite.register(Box::new(EdgeAccounting::default()));
+        }
+        // Size the BDP off the fabric diameter (max base RTT from the
+        // first host), with margin over the paper's ~3 BDP bound so the
+        // watchdog separates "bounded" from "runaway".
+        let h0 = self.topo.hosts[0];
+        let rtt = self
+            .topo
+            .hosts
+            .iter()
+            .skip(1)
+            .map(|&h| self.topo.base_rtt(h0, h))
+            .max()
+            .unwrap_or(10 * US)
+            .max(1);
+        suite.register(Box::new(BoundedQueueWatchdog::new(rtt, 6.0)));
+        self.invariants = Some(suite);
+    }
+
+    /// Number of invariant violations so far.
+    pub fn invariant_violations(&self) -> usize {
+        self.invariants
+            .as_ref()
+            .map(|s| s.violations().len())
+            .unwrap_or(0)
+    }
+
+    /// Human-readable report of all violations (empty when clean).
+    pub fn invariant_report(&self) -> String {
+        self.invariants
+            .as_ref()
+            .map(|s| s.report())
+            .unwrap_or_default()
+    }
+
+    fn check_invariants_if_due(&mut self) {
+        if let Some(suite) = &mut self.invariants {
+            let now = self.sim.now();
+            if suite.due(now) {
+                suite.run(&self.sim, now, &self.obs);
+            }
         }
     }
 
@@ -207,6 +297,7 @@ impl Runner {
                 d.poll(self, &comps);
             }
             self.sample_queues();
+            self.check_invariants_if_due();
         }
     }
 
@@ -273,10 +364,7 @@ impl WorkloadPort for Runner {
 
     fn clear_backlog(&mut self, host: NodeId, pair: PairId) {
         if self.system.is_ufab() {
-            self.sim
-                .edge_mut::<UfabEdge>(host)
-                .ep
-                .clear_backlog(pair);
+            self.sim.edge_mut::<UfabEdge>(host).ep.clear_backlog(pair);
         } else {
             self.sim
                 .edge_mut::<BaselineEdge>(host)

@@ -91,7 +91,7 @@ pub fn run(scale: Scale) -> Table {
         // Incast stress.
         let (topo, fabric, srcs, pairs, _dst) =
             incast_on_testbed(10, TestbedCfg::default(), 1.0, 500e6);
-        let mut r = {
+        let r = {
             let mut r = Runner::new(
                 topo,
                 fabric,

@@ -32,6 +32,10 @@ pub struct Scale {
     pub quick: bool,
     /// Override the server count for the large-scale runs (Fig 17/18/20).
     pub servers: Option<usize>,
+    /// Flight-recorder capacity in events (`--trace`); `None` disables.
+    pub trace: Option<usize>,
+    /// Evaluate the online invariant suite (`--check-invariants`).
+    pub check_invariants: bool,
 }
 
 impl Default for Scale {
@@ -40,6 +44,63 @@ impl Default for Scale {
             seed: 1,
             quick: true,
             servers: None,
+            trace: None,
+            check_invariants: false,
+        }
+    }
+}
+
+/// Total invariant violations observed across all runs of this process.
+static VIOLATIONS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Invariant violations accumulated so far (for the repro exit footer).
+pub fn total_violations() -> usize {
+    VIOLATIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Apply the CLI observability knobs to a freshly-built runner.
+pub fn apply_obs(scale: &Scale, r: &mut Runner) {
+    if let Some(cap) = scale.trace {
+        r.enable_trace(cap);
+    }
+    if scale.check_invariants {
+        r.enable_invariants(MS / 4);
+    }
+}
+
+/// Per-run observability epilogue: print the drop/ECN/retransmit stats
+/// breakdown and any invariant-violation reports, folding violations
+/// into the process-wide total shown by the repro footer.
+pub fn obs_epilogue(scale: &Scale, r: &Runner, label: &str) {
+    if scale.trace.is_none() && !scale.check_invariants {
+        return;
+    }
+    let s = r.sim.stats();
+    println!(
+        "[obs {label}] events {}  host-tx {} B  drops {} (overflow {}, link-down {}, \
+         random {})  ecn {}  retx {}  link-flaps {}",
+        s.events,
+        s.host_bytes_tx,
+        s.drops,
+        s.drops_overflow,
+        s.drops_down,
+        s.drops_random,
+        s.ecn_marked,
+        s.retx_pkts,
+        s.link_flaps
+    );
+    if let Some(d) = r.sim.det_digest() {
+        println!("[obs {label}] determinism digest {d:016x}");
+    }
+    if scale.check_invariants {
+        let n = r.invariant_violations();
+        VIOLATIONS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        let evals = r.invariants.as_ref().map(|s| s.evaluations()).unwrap_or(0);
+        if n == 0 {
+            println!("[obs {label}] invariants clean ({evals} evaluations)");
+        } else {
+            println!("[obs {label}] {n} invariant violation(s):");
+            print!("{}", r.invariant_report());
         }
     }
 }
@@ -58,12 +119,7 @@ pub fn incast_on_testbed(
     let mut fabric = FabricSpec::new(bu_bps);
     let mut srcs = Vec::new();
     let mut pairs = Vec::new();
-    let candidates: Vec<NodeId> = topo
-        .hosts
-        .iter()
-        .copied()
-        .filter(|&h| h != dst)
-        .collect();
+    let candidates: Vec<NodeId> = topo.hosts.iter().copied().filter(|&h| h != dst).collect();
     for i in 0..n {
         let src = candidates[i % candidates.len()];
         let t = fabric.add_tenant(&format!("vf{i}"), tokens);
@@ -76,20 +132,21 @@ pub fn incast_on_testbed(
 }
 
 /// Run an incast of `bytes` per sender starting at `start`, returning the
-/// runner after `until`.
+/// runner after `until`. Honors the observability knobs in `scale`.
 pub fn run_incast(
     topo: Topo,
     fabric: FabricSpec,
     system: SystemKind,
-    seed: u64,
+    scale: &Scale,
     srcs: &[NodeId],
     pairs: &[PairId],
     bytes: u64,
     start: Time,
     until: Time,
 ) -> Runner {
-    let mut r = Runner::new(topo, fabric, system, seed, None, MS);
+    let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);
     r.watch_all_switch_queues();
+    apply_obs(scale, &mut r);
     let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
         .iter()
         .zip(pairs)
@@ -98,6 +155,7 @@ pub fn run_incast(
     let mut driver = BulkDriver::new(jobs, 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
     r.run(until, crate::harness::SLICE, &mut drivers);
+    obs_epilogue(scale, &r, system.label());
     r
 }
 

@@ -7,7 +7,7 @@
 //! `stagger`; the paper reports (a–c) per-class rate evolution, (d) the
 //! bandwidth-dissatisfaction curve, and (e) the switch-queue CDF.
 
-use super::common::{emit, Scale};
+use super::common::{apply_obs, emit, obs_epilogue, Scale};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use metrics::DissatisfactionMeter;
@@ -76,6 +76,7 @@ pub fn run(scale: Scale) -> Table {
         let vfs = s.vfs.clone();
         let mut r = Runner::new(s.topo, s.fabric, system, scale.seed, None, MS);
         r.watch_all_switch_queues();
+        apply_obs(&scale, &mut r);
         let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = vfs
             .iter()
             .map(|&(at, src, pair, _)| (at, src, pair, 8_000_000_000, 0))
@@ -83,6 +84,7 @@ pub fn run(scale: Scale) -> Table {
         let mut driver = BulkDriver::new(jobs, 0);
         let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
         r.run(until, SLICE, &mut drivers);
+        obs_epilogue(&scale, &r, system.label());
 
         // (a–c) per-VF rate series.
         let rec = r.rec.borrow();
@@ -141,7 +143,11 @@ pub fn run(scale: Scale) -> Table {
             format!("{:.2}", agg / 1e9),
         ]);
     }
-    emit("fig11_rates", "Fig 11a-c: permutation rate evolution", &rates);
+    emit(
+        "fig11_rates",
+        "Fig 11a-c: permutation rate evolution",
+        &rates,
+    );
     emit(
         "fig11_summary",
         "Fig 11d-e: dissatisfaction + queue (expect uFAB lowest on both)",

@@ -35,15 +35,7 @@ pub fn run(scale: Scale) -> Table {
         let (topo, fabric, srcs, pairs, _dst) =
             incast_on_testbed(n, TestbedCfg::default(), 1.0, 500e6);
         let r = run_incast(
-            topo,
-            fabric,
-            system,
-            scale.seed,
-            &srcs,
-            &pairs,
-            30_000_000,
-            MS,
-            until,
+            topo, fabric, system, &scale, &srcs, &pairs, 30_000_000, MS, until,
         );
         let mut rtts = r.rec.borrow_mut().rtts.clone();
         let agg = pairs
@@ -107,7 +99,15 @@ pub fn run(scale: Scale) -> Table {
         }
         let _ = US;
     }
-    emit("fig12_rates", "Fig 12a: 14-to-1 incast rate evolution", &rate_table);
-    emit("fig12_rtt", "Fig 12b: 14-to-1 incast network RTT", &rtt_table);
+    emit(
+        "fig12_rates",
+        "Fig 12a: 14-to-1 incast rate evolution",
+        &rate_table,
+    );
+    emit(
+        "fig12_rtt",
+        "Fig 12b: 14-to-1 incast network RTT",
+        &rtt_table,
+    );
     rtt_table
 }

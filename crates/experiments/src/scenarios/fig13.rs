@@ -35,20 +35,12 @@ fn setup() -> EcsSetup {
     let mc = fabric.add_tenant("memcached", 4.0);
     let mdb = fabric.add_tenant("mongodb", 2.0);
     // Memcached servers: 24 VMs over S7–S8.
-    let mc_servers: Vec<_> = (0..24)
-        .map(|i| fabric.add_vm(mc, h[6 + i % 2]))
-        .collect();
+    let mc_servers: Vec<_> = (0..24).map(|i| fabric.add_vm(mc, h[6 + i % 2])).collect();
     // Memcached clients: 12 VMs over S1–S4.
-    let mc_client_vms: Vec<_> = (0..12)
-        .map(|i| fabric.add_vm(mc, h[i % 4]))
-        .collect();
+    let mc_client_vms: Vec<_> = (0..12).map(|i| fabric.add_vm(mc, h[i % 4])).collect();
     // MongoDB servers: 24 VMs over S5–S8; clients: 24 VMs over S1–S4.
-    let mdb_servers: Vec<_> = (0..24)
-        .map(|i| fabric.add_vm(mdb, h[4 + i % 4]))
-        .collect();
-    let mdb_client_vms: Vec<_> = (0..24)
-        .map(|i| fabric.add_vm(mdb, h[i % 4]))
-        .collect();
+    let mdb_servers: Vec<_> = (0..24).map(|i| fabric.add_vm(mdb, h[4 + i % 4])).collect();
+    let mdb_client_vms: Vec<_> = (0..24).map(|i| fabric.add_vm(mdb, h[i % 4])).collect();
     // RPC pairs (both directions) client ↔ every server of its app.
     let mut mc_clients = Vec::new();
     for &c in &mc_client_vms {

@@ -73,14 +73,7 @@ fn setup() -> (topology::Topo, FabricSpec, EbsSpec) {
 /// Run all systems and emit the TCT table.
 pub fn run(scale: Scale) -> Table {
     let until = if scale.quick { 60 * MS } else { 300 * MS };
-    let mut table = Table::new([
-        "system",
-        "task",
-        "avg_ms",
-        "p99_ms",
-        "n",
-        "within_bound",
-    ]);
+    let mut table = Table::new(["system", "task", "avg_ms", "p99_ms", "n", "within_bound"]);
     for system in SystemKind::headline() {
         let (topo, fabric, spec) = setup();
         let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);

@@ -23,7 +23,10 @@ pub fn run_a(scale: Scale) -> Table {
     // paper (100G): 5+5+5+10+10+10+15 = 60 G ≤ 95 G target. Quick (10G):
     // 0.5×3 + 1×3 + 1.5 = 6 G ≤ 9.5 G target. Tokens are B_u = 500 M.
     let (cfg, guar_tokens): (TestbedCfg, Vec<f64>) = if scale.quick {
-        (TestbedCfg::default(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0])
+        (
+            TestbedCfg::default(),
+            vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0],
+        )
     } else {
         (
             TestbedCfg::hundred_gig(),
@@ -48,13 +51,7 @@ pub fn run_a(scale: Scale) -> Table {
         let v1 = fabric.add_vm(t, dst);
         let p = fabric.add_pair(v0, v1);
         pairs.push(p);
-        jobs.push((
-            MS + i as Time * stagger,
-            src,
-            p,
-            200_000_000_000 / 8,
-            0u32,
-        ));
+        jobs.push((MS + i as Time * stagger, src, p, 200_000_000_000 / 8, 0u32));
     }
     // Tight migration reaction for the failure study.
     let ucfg = UfabConfig::default();
@@ -64,7 +61,8 @@ pub fn run_a(scale: Scale) -> Table {
     r.watch_all_switch_queues();
     // Fail every link of Core-1 (both directions).
     for p in 0..n_core_ports {
-        r.sim.schedule_link_failure(fail_at, core1, PortNo(p as u16));
+        r.sim
+            .schedule_link_failure(fail_at, core1, PortNo(p as u16));
     }
     let mut driver = BulkDriver::new(jobs, 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
@@ -110,7 +108,10 @@ pub fn run_a(scale: Scale) -> Table {
     }
     drop(rec);
     let migrations = r.rec.borrow().path_migrations;
-    println!("fail_at = {} ms; migrations performed = {migrations}", fail_at / MS);
+    println!(
+        "fail_at = {} ms; migrations performed = {migrations}",
+        fail_at / MS
+    );
     emit(
         "fig15a_failover",
         "Fig 15a: staggered joins + core failure (uFAB)",

@@ -116,7 +116,11 @@ pub fn run(scale: Scale) -> Table {
             us(rtts.max().unwrap_or(f64::NAN)),
         ]);
     }
-    emit("fig16_series", "Fig 16a: 90-to-1 on-off aggregate rate", &series);
+    emit(
+        "fig16_series",
+        "Fig 16a: 90-to-1 on-off aggregate rate",
+        &series,
+    );
     emit(
         "fig16_summary",
         "Fig 16: on-off rates + RTT (expect uFAB near-base RTT)",

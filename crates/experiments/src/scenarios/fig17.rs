@@ -200,10 +200,8 @@ pub fn run_cell(
     let mut remaining = vec![0f64; n_pairs];
     let mut meter = DissatisfactionMeter::new();
     for b in 0..bins {
-        let mut per_src_vm: std::collections::HashMap<u32, f64> =
-            std::collections::HashMap::new();
-        let mut per_dst_vm: std::collections::HashMap<u32, f64> =
-            std::collections::HashMap::new();
+        let mut per_src_vm: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut per_dst_vm: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
         let mut raw = Vec::new();
         for p in 0..n_pairs {
             remaining[p] += inj[p][b] as f64;

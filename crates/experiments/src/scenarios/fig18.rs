@@ -63,8 +63,7 @@ pub fn run_ab(scale: Scale) -> Table {
     for &load in &[0.5, 0.7] {
         for &n in &[2u64, 3, 4, 10] {
             let topo = super::fig17::build_topo(servers, false);
-            let (mut fabric, wl) =
-                super::fig17::synthesize(&topo, load, duration, scale.seed);
+            let (mut fabric, wl) = super::fig17::synthesize(&topo, load, duration, scale.seed);
             // Probe VFs: 8 extra tenants with 1 G guarantees joining
             // mid-run with sustained demand.
             let hosts = topo.hosts.clone();
@@ -102,8 +101,7 @@ pub fn run_ab(scale: Scale) -> Table {
             let mut probe_driver = BulkDriver::new(probe_jobs, 1 << 41);
             let mut drivers: [&mut dyn Driver; 2] = [&mut bg, &mut probe_driver];
             r.run(duration, SLICE, &mut drivers);
-            let (conv, converged) =
-                probe_vf_convergence(&r.rec, &probes, duration, 100 * US);
+            let (conv, converged) = probe_vf_convergence(&r.rec, &probes, duration, 100 * US);
             let migrations = r.rec.borrow().path_migrations;
             table.row([
                 format!("{load}"),

@@ -19,7 +19,13 @@ pub fn run(scale: Scale) -> Table {
         vec![2, 4, 6, 8, 10, 12, 14]
     };
     let mut table = Table::new([
-        "system", "incast_N", "median_us", "p99_us", "p99_9_us", "max_us", "base_rtt_us",
+        "system",
+        "incast_N",
+        "median_us",
+        "p99_us",
+        "p99_9_us",
+        "max_us",
+        "base_rtt_us",
     ]);
     for system in [SystemKind::Pwc, SystemKind::Ufab] {
         for &n in &degrees {
@@ -28,15 +34,7 @@ pub fn run(scale: Scale) -> Table {
             let base = topo.max_base_rtt();
             let until = if scale.quick { 30 * MS } else { 60 * MS };
             let r = run_incast(
-                topo,
-                fabric,
-                system,
-                scale.seed,
-                &srcs,
-                &pairs,
-                20_000_000,
-                MS,
-                until,
+                topo, fabric, system, &scale, &srcs, &pairs, 20_000_000, MS, until,
             );
             let mut rtts = r.rec.borrow_mut().rtts.clone();
             if rtts.is_empty() {

@@ -72,9 +72,7 @@ fn run_one(
         flowlet_gap: gap,
         ..BaselineCfg::pwc()
     });
-    let mut r = Runner::new_full(
-        s.topo, s.fabric, system, seed, None, baseline_cfg, MS,
-    );
+    let mut r = Runner::new_full(s.topo, s.fabric, system, seed, None, baseline_cfg, MS);
     // F1: 8 G paced demand. F2: 9 G paced. F3: unlimited from t=2 ms.
     // F4: unlimited from f4_join. Staggered joins let the load balancers
     // spread F1–F3 across the three paths first.
@@ -104,7 +102,9 @@ fn run_one(
 pub fn run(scale: Scale) -> Table {
     let until = if scale.quick { 50 * MS } else { 100 * MS };
     let f4_join = until / 2;
-    let mut series = Table::new(["variant", "t_ms", "vf1_gbps", "vf2_gbps", "vf3_gbps", "vf4_gbps"]);
+    let mut series = Table::new([
+        "variant", "t_ms", "vf1_gbps", "vf2_gbps", "vf3_gbps", "vf4_gbps",
+    ]);
     let mut verdict = Table::new([
         "variant",
         "vf",

@@ -32,7 +32,11 @@ pub fn table3() -> Table {
             format!("{:.1}", m.uram_pct),
         ]);
     }
-    emit("table3_fpga", "Table 3: uFAB-E FPGA resource consumption", &t);
+    emit(
+        "table3_fpga",
+        "Table 3: uFAB-E FPGA resource consumption",
+        &t,
+    );
     t
 }
 
@@ -77,6 +81,10 @@ pub fn table4() -> Table {
         "Bloom sizing check (§4.2): {} bytes keep 20K pairs under 5% FP (paper deploys 20KB)",
         bloom_bytes_for(20_000, 0.05)
     );
-    emit("table4_tofino", "Table 4: uFAB-C Tofino resource consumption", &t);
+    emit(
+        "table4_tofino",
+        "Table 4: uFAB-C Tofino resource consumption",
+        &t,
+    );
     t
 }

@@ -5,7 +5,9 @@
 
 use super::common::emit;
 use metrics::table::Table;
-use ufab::tokens::{multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens};
+use ufab::tokens::{
+    multipath_assignment, token_admission, token_assignment, PairTokens, PathTokens,
+};
 
 /// Run the walkthrough.
 pub fn run() -> Table {

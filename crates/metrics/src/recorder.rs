@@ -109,10 +109,7 @@ impl Recorder {
     /// Record one RTT sample.
     pub fn rtt(&mut self, now: Nanos, pair: u32, tenant: u32, rtt: Nanos) {
         self.rtts.add(rtt as f64);
-        self.tenant_rtts
-            .entry(tenant)
-            .or_default()
-            .add(rtt as f64);
+        self.tenant_rtts.entry(tenant).or_default().add(rtt as f64);
         let _ = (now, pair);
     }
 

@@ -170,7 +170,16 @@ mod tests {
     }
 
     fn port(buf: u64, ecn: Option<u64>) -> Port {
-        Port::new(NodeId(1), PortNo(0), 10_000_000_000, 1000, buf, ecn, 0.0, 100_000)
+        Port::new(
+            NodeId(1),
+            PortNo(0),
+            10_000_000_000,
+            1000,
+            buf,
+            ecn,
+            0.0,
+            100_000,
+        )
     }
 
     #[test]

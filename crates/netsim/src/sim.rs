@@ -6,6 +6,7 @@ use crate::ids::{NodeId, PortNo};
 use crate::packet::{Packet, PacketKind};
 use crate::port::EnqueueResult;
 use crate::time::{tx_time, Time};
+use obs::{Category, DetHash, Event as ObsEvent, ObsHandle};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -57,6 +58,18 @@ pub struct GlobalStats {
     pub events: u64,
     /// Total packets dropped (overflow + down + random).
     pub drops: u64,
+    /// Packets dropped to queue overflow.
+    pub drops_overflow: u64,
+    /// Packets dropped at a downed link.
+    pub drops_down: u64,
+    /// Packets dropped by the random-loss model.
+    pub drops_random: u64,
+    /// Packets carrying an ECN mark at transmission.
+    pub ecn_marked: u64,
+    /// Retransmitted data packets leaving host NICs.
+    pub retx_pkts: u64,
+    /// Link up/down transitions applied.
+    pub link_flaps: u64,
     /// Total bytes of probe-plane packets transmitted by hosts.
     pub probe_bytes_tx: u64,
     /// Total bytes of all packets transmitted by hosts.
@@ -81,6 +94,8 @@ pub struct Simulator {
     pub bounce_probes_on_failure: bool,
     stats: GlobalStats,
     started: bool,
+    obs: ObsHandle,
+    det: Option<DetHash>,
 }
 
 impl Simulator {
@@ -102,7 +117,36 @@ impl Simulator {
             bounce_probes_on_failure: false,
             stats: GlobalStats::default(),
             started: false,
+            obs: ObsHandle::disabled(),
+            det: None,
         }
+    }
+
+    /// Attach a flight-recorder handle. The simulator (and, via
+    /// [`Simulator::obs`], the agents it hosts) records structured
+    /// events into it; a disabled handle (the default) costs one
+    /// branch per site.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (cheap to clone).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Start folding every event-loop step into a determinism digest.
+    pub fn enable_det_hash(&mut self) {
+        if self.det.is_none() {
+            self.det = Some(DetHash::new());
+        }
+    }
+
+    /// The determinism digest so far (`None` unless
+    /// [`Simulator::enable_det_hash`] was called). Two same-seed runs
+    /// of the same scenario must produce equal digests.
+    pub fn det_digest(&self) -> Option<u64> {
+        self.det.as_ref().map(|d| d.digest())
     }
 
     /// Install the edge agent for a host.
@@ -139,12 +183,13 @@ impl Simulator {
     /// Aggregate counters.
     pub fn stats(&self) -> GlobalStats {
         let mut s = self.stats;
-        s.drops = self
-            .nodes
-            .iter()
-            .flat_map(|n| n.ports.iter())
-            .map(|p| p.stats.drops_overflow + p.stats.drops_down + p.stats.drops_random)
-            .sum();
+        for p in self.nodes.iter().flat_map(|n| n.ports.iter()) {
+            s.drops_overflow += p.stats.drops_overflow;
+            s.drops_down += p.stats.drops_down;
+            s.drops_random += p.stats.drops_random;
+            s.ecn_marked += p.stats.ecn_marked;
+        }
+        s.drops = s.drops_overflow + s.drops_down + s.drops_random;
         s
     }
 
@@ -198,6 +243,33 @@ impl Simulator {
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("edge agent type mismatch")
+    }
+
+    /// Downcast an edge agent without panicking: `None` when the host
+    /// has no agent or a different concrete type (used by generic
+    /// probes such as invariant checkers).
+    pub fn try_edge<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.edge[node.idx()].as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Downcast a switch agent without panicking (see
+    /// [`Simulator::try_edge`]).
+    pub fn try_switch_agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.switch[node.idx()]
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of a switch agent (configuration between run
+    /// slices, e.g. attaching an observability handle).
+    pub fn switch_agent_mut<T: 'static>(&mut self, node: NodeId) -> &mut T {
+        self.switch[node.idx()]
+            .as_mut()
+            .expect("no switch agent installed")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("switch agent type mismatch")
     }
 
     /// Downcast a switch agent for introspection.
@@ -291,13 +363,27 @@ impl Simulator {
         self.now = ev.time;
         self.stats.events += 1;
         let node = ev.node;
+        if let Some(det) = &mut self.det {
+            // Fold (kind, time, node, payload discriminant) — enough to
+            // distinguish any divergent schedule; seq is implied by fold
+            // order.
+            let (code, aux) = match &ev.kind {
+                EvKind::Arrive(p) => (1u64, ((p.pair.raw() as u64) << 32) | p.size as u64),
+                EvKind::TxDone(p) => (2, p.raw() as u64),
+                EvKind::EdgeTimer(k) => (3, *k),
+                EvKind::SwitchTimer(k) => (4, *k),
+                EvKind::Inject(_) => (5, 0),
+                EvKind::LinkSet(p, up) => (6, ((p.raw() as u64) << 1) | *up as u64),
+            };
+            det.fold_u64(code << 56 | (node.raw() as u64));
+            det.fold_u64(ev.time);
+            det.fold_u64(aux);
+        }
         match ev.kind {
             EvKind::Arrive(pkt) => self.on_arrive(node, pkt),
             EvKind::TxDone(p) => self.on_txdone(node, p),
             EvKind::EdgeTimer(k) => self.with_edge(node, |a, ctx| a.on_timer(ctx, k)),
-            EvKind::SwitchTimer(k) => {
-                self.with_switch_timer_ctx(node, |a, ctx| a.on_timer(ctx, k))
-            }
+            EvKind::SwitchTimer(k) => self.with_switch_timer_ctx(node, |a, ctx| a.on_timer(ctx, k)),
             EvKind::Inject(d) => self.with_edge(node, |a, ctx| a.on_inject(ctx, d)),
             EvKind::LinkSet(p, up) => self.on_link_set(node, p, up),
         }
@@ -350,6 +436,14 @@ impl Simulator {
                 // backwards without per-packet path state, and the edge
                 // only needs the (pair, seq, hops-so-far) content.
                 port.stats.drops_down += 1;
+                self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
+                    node: node.raw(),
+                    port: egress.raw(),
+                    pair: pkt.pair.raw(),
+                    kind: pkt.kind.label(),
+                    bytes: pkt.size,
+                    reason: "down",
+                });
                 let src = pkt.src;
                 let delay: Time = 2_000u64.saturating_mul(frame.hops.len().max(1) as u64);
                 let notify = Packet {
@@ -363,10 +457,39 @@ impl Simulator {
                 return;
             }
         }
-        match port.enqueue(pkt) {
-            EnqueueResult::Queued { start_tx: true } => self.start_tx(node, egress),
-            EnqueueResult::Queued { start_tx: false } => {}
-            EnqueueResult::DroppedOverflow | EnqueueResult::DroppedDown => {}
+        let (pair, kind_label, bytes) = (pkt.pair.raw(), pkt.kind.label(), pkt.size);
+        let result = port.enqueue(pkt);
+        let q_bytes = port.q_bytes;
+        match result {
+            EnqueueResult::Queued { start_tx } => {
+                self.obs
+                    .rec(Category::Enqueue, self.now, || ObsEvent::Enqueue {
+                        node: node.raw(),
+                        port: egress.raw(),
+                        pair,
+                        kind: kind_label,
+                        bytes,
+                        q_bytes,
+                    });
+                if start_tx {
+                    self.start_tx(node, egress);
+                }
+            }
+            EnqueueResult::DroppedOverflow | EnqueueResult::DroppedDown => {
+                let reason = if matches!(result, EnqueueResult::DroppedOverflow) {
+                    "overflow"
+                } else {
+                    "down"
+                };
+                self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
+                    node: node.raw(),
+                    port: egress.raw(),
+                    pair,
+                    kind: kind_label,
+                    bytes,
+                    reason,
+                });
+            }
         }
     }
 
@@ -412,19 +535,39 @@ impl Simulator {
                 pkt.max_util = pkt.max_util.max(util);
             }
         } else {
-            // Host NIC: account probe-plane overhead.
+            // Host NIC: account probe-plane overhead and retransmissions.
             self.stats.host_bytes_tx += pkt.size as u64;
             if pkt.kind.is_probe_plane() {
                 self.stats.probe_bytes_tx += pkt.size as u64;
             }
+            if matches!(&pkt.kind, PacketKind::Data(d) if d.retx) {
+                self.stats.retx_pkts += 1;
+            }
         }
+        self.obs.rec(Category::Dequeue, now, || ObsEvent::Dequeue {
+            node: node.raw(),
+            port: portno.raw(),
+            pair: pkt.pair.raw(),
+            kind: pkt.kind.label(),
+            bytes: pkt.size,
+        });
         if pkt.ecn {
             self.nodes[node.idx()].ports[portno.idx()].stats.ecn_marked += 1;
         }
         self.push(now + ser, node, EvKind::TxDone(portno));
         let lost = loss > 0.0 && self.rngs[node.idx()].gen::<f64>() < loss;
         if lost {
-            self.nodes[node.idx()].ports[portno.idx()].stats.drops_random += 1;
+            self.nodes[node.idx()].ports[portno.idx()]
+                .stats
+                .drops_random += 1;
+            self.obs.rec(Category::Drop, now, || ObsEvent::Drop {
+                node: node.raw(),
+                port: portno.raw(),
+                pair: pkt.pair.raw(),
+                kind: pkt.kind.label(),
+                bytes: pkt.size,
+                reason: "random",
+            });
         } else {
             self.push(now + ser + prop, peer, EvKind::Arrive(pkt));
         }
@@ -446,6 +589,12 @@ impl Simulator {
     fn on_link_set(&mut self, node: NodeId, portno: PortNo, up: bool) {
         let port = &mut self.nodes[node.idx()].ports[portno.idx()];
         port.up = up;
+        self.stats.link_flaps += 1;
+        self.obs.rec(Category::Link, self.now, || ObsEvent::Link {
+            node: node.raw(),
+            port: portno.raw(),
+            up,
+        });
         if up && !port.busy && !port.queue.is_empty() {
             self.start_tx(node, portno);
         }

@@ -28,7 +28,7 @@ pub mod wire;
 
 pub use bloom::TwoBankBloom;
 pub use counting::CountingBloom;
-pub use timed::TimedBloom;
 pub use frame::{FinishFrame, HopInfo, ProbeFrame, ProbeKind};
 pub use rate::RateEstimator;
 pub use registers::DemandRegisters;
+pub use timed::TimedBloom;

@@ -165,7 +165,9 @@ impl Topo {
         let mut out = Vec::new();
         let mut nodes = vec![src];
         let mut ports: Vec<PortNo> = Vec::new();
-        self.dfs_paths(src, dst, &dist, &is_host, &mut nodes, &mut ports, &mut out, max_paths);
+        self.dfs_paths(
+            src, dst, &dist, &is_host, &mut nodes, &mut ports, &mut out, max_paths,
+        );
         out
     }
 

@@ -98,7 +98,10 @@ mod tests {
     fn flow_ids_are_unique_and_namespaced() {
         let mut a = FlowIds::new(0);
         let mut b = FlowIds::new(1 << 32);
-        let ids: Vec<u64> = (0..4).map(|_| a.next()).chain((0..4).map(|_| b.next())).collect();
+        let ids: Vec<u64> = (0..4)
+            .map(|_| a.next())
+            .chain((0..4).map(|_| b.next()))
+            .collect();
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();

@@ -165,10 +165,8 @@ impl Driver for EbsDriver {
                     self.tasks[task_id].sa_done = Some(c.end);
                     // The BA now replicates to `replicas` distinct CSs.
                     let ba_idx = self.rng.gen_range(0..self.spec.ba.len());
-                    let (ba_host, cs_pairs) = (
-                        self.spec.ba[ba_idx].0,
-                        self.spec.ba[ba_idx].1.clone(),
-                    );
+                    let (ba_host, cs_pairs) =
+                        (self.spec.ba[ba_idx].0, self.spec.ba[ba_idx].1.clone());
                     let mut order: Vec<usize> = (0..cs_pairs.len()).collect();
                     for i in (1..order.len()).rev() {
                         let j = self.rng.gen_range(0..=i);
@@ -192,7 +190,8 @@ impl Driver for EbsDriver {
                     t.last_replica = t.last_replica.max(c.end);
                     if t.replicas_left == 0 {
                         let sa_done = t.sa_done.unwrap_or(t.start);
-                        self.ba_tct.add(t.last_replica.saturating_sub(sa_done) as f64);
+                        self.ba_tct
+                            .add(t.last_replica.saturating_sub(sa_done) as f64);
                         self.total_tct
                             .add(t.last_replica.saturating_sub(t.start) as f64);
                     }
@@ -274,8 +273,14 @@ mod tests {
         EbsSpec {
             sa: vec![(NodeId(0), vec![PairId(0), PairId(1)])],
             ba: vec![
-                (NodeId(4), vec![PairId(10), PairId(11), PairId(12), PairId(13)]),
-                (NodeId(5), vec![PairId(14), PairId(15), PairId(16), PairId(17)]),
+                (
+                    NodeId(4),
+                    vec![PairId(10), PairId(11), PairId(12), PairId(13)],
+                ),
+                (
+                    NodeId(5),
+                    vec![PairId(14), PairId(15), PairId(16), PairId(17)],
+                ),
             ],
             gc: vec![(NodeId(6), vec![PairId(20)], vec![PairId(21)])],
         }

@@ -125,8 +125,7 @@ impl Driver for RpcClientDriver {
         }
         for (ci, client) in self.clients.iter_mut().enumerate() {
             while client.outstanding < self.concurrency {
-                let pair = client.server_pairs
-                    [self.rng.gen_range(0..client.server_pairs.len())];
+                let pair = client.server_pairs[self.rng.gen_range(0..client.server_pairs.len())];
                 let reply_size = match &self.reply {
                     ReplySize::Fixed(b) => *b,
                     ReplySize::Dist(d) => d.sample(&mut self.rng).max(64.0) as u64,

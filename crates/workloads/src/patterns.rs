@@ -106,10 +106,7 @@ impl Driver for OnOffDriver {
                 // Keep a deep backlog so demand is effectively unbounded.
                 if port.backlog(host, pair) < self.unlimited_backlog / 2 {
                     let flow = self.flows.next();
-                    port.inject(
-                        host,
-                        AppMsg::oneway(flow, pair, self.unlimited_backlog, 1),
-                    );
+                    port.inject(host, AppMsg::oneway(flow, pair, self.unlimited_backlog, 1));
                 }
             } else {
                 // Phase change: drop leftover unlimited backlog, then pace
@@ -213,10 +210,7 @@ pub struct StripedBulkDriver {
 impl StripedBulkDriver {
     /// `jobs` = (start, src_host, stripes, bytes, tag); the bytes are
     /// divided across the stripes (remainder to the first).
-    pub fn new(
-        jobs: Vec<(Time, NodeId, Vec<PairId>, u64, u32)>,
-        flow_base: u64,
-    ) -> Self {
+    pub fn new(jobs: Vec<(Time, NodeId, Vec<PairId>, u64, u32)>, flow_base: u64) -> Self {
         let mut flat = Vec::new();
         for (at, host, stripes, bytes, tag) in jobs {
             assert!(!stripes.is_empty());
@@ -337,7 +331,11 @@ mod tests {
         assert!((n - 1000.0).abs() < 120.0, "injected {n}");
         assert!(d.done());
         // Spread across both pairs.
-        let zeros = port.injected.iter().filter(|(_, m)| m.pair == PairId(0)).count();
+        let zeros = port
+            .injected
+            .iter()
+            .filter(|(_, m)| m.pair == PairId(0))
+            .count();
         assert!(zeros > 300 && zeros < 700);
     }
 

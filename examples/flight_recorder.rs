@@ -1,0 +1,76 @@
+//! Flight recorder demo: trace the quickstart scenario, dump the
+//! retained event window as JSONL, and show the determinism digest.
+//!
+//! ```sh
+//! cargo run --release --example flight_recorder
+//! ```
+
+use experiments::harness::{Runner, SystemKind};
+use netsim::MS;
+use obs::{arm_panic_dump, Category, CategoryMask};
+use ufab::endpoint::AppMsg;
+use ufab::FabricSpec;
+
+fn main() {
+    // The quickstart fabric: two tenants across a dumbbell bottleneck.
+    let topo = topology::dumbbell(2, 10, 10);
+    let mut fabric = FabricSpec::new(500e6);
+    let ta = fabric.add_tenant("tenant-a", 2.0);
+    let tb = fabric.add_tenant("tenant-b", 8.0);
+    let a0 = fabric.add_vm(ta, topo.hosts[0]);
+    let a1 = fabric.add_vm(ta, topo.hosts[2]);
+    let b0 = fabric.add_vm(tb, topo.hosts[1]);
+    let b1 = fabric.add_vm(tb, topo.hosts[3]);
+    let pa = fabric.add_pair(a0, a1);
+    let pb = fabric.add_pair(b0, b1);
+    let h0 = topo.hosts[0];
+    let h1 = topo.hosts[1];
+
+    let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 42, None, MS);
+    // Keep only the control-plane categories: window updates, register
+    // deltas, migrations, drops — the packet categories would dominate
+    // a small ring.
+    r.enable_trace(256);
+    if let Some(rec) = r.obs.recorder() {
+        rec.borrow_mut().set_mask(CategoryMask::of(&[
+            Category::Window,
+            Category::Register,
+            Category::Migration,
+            Category::Drop,
+            Category::Link,
+        ]));
+    }
+    // Post-mortem: if this process panics, the ring is dumped here.
+    arm_panic_dump(
+        &r.obs,
+        std::env::temp_dir().join("flight-recorder-panic.jsonl"),
+    );
+
+    r.sim.start();
+    r.sim
+        .inject(h0, Box::new(AppMsg::oneway(1, pa, 50_000_000, 0)));
+    r.sim
+        .inject(h1, Box::new(AppMsg::oneway(2, pb, 50_000_000, 0)));
+    r.sim.run_until(2 * MS);
+
+    let rec = r.obs.recorder().expect("tracing enabled");
+    let rec = rec.borrow();
+    println!(
+        "recorded {} events total, retaining the newest {} (capacity {}, {} overwritten)",
+        rec.total_recorded(),
+        rec.len(),
+        rec.capacity(),
+        rec.overwritten()
+    );
+    println!("\nlast 5 events as JSONL:");
+    for ev in rec.last(5) {
+        println!("{}", ev.to_json());
+    }
+    let path = std::env::temp_dir().join("flight-recorder-demo.jsonl");
+    rec.dump_to_path(&path).expect("dump");
+    println!("\nfull window dumped to {}", path.display());
+    println!(
+        "determinism digest: {:016x}",
+        r.sim.det_digest().expect("digest runs with tracing")
+    );
+}

@@ -44,10 +44,19 @@ fn run_one(system: SystemKind) -> (f64, f64, f64) {
 
 fn main() {
     println!("14-to-1 incast, synchronized start, 500 Mbps guarantees\n");
-    println!("{:<8} {:>10} {:>10} {:>10}", "system", "p50_us", "p99.9_us", "max_us");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "system", "p50_us", "p99.9_us", "max_us"
+    );
     for system in [SystemKind::UfabPrime, SystemKind::Ufab] {
         let (p50, p999, max) = run_one(system);
-        println!("{:<8} {:>10.1} {:>10.1} {:>10.1}", system.label(), p50, p999, max);
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>10.1}",
+            system.label(),
+            p50,
+            p999,
+            max
+        );
     }
     println!("\nThe bounded-latency stage (uFAB vs uFAB') caps the worst case:");
     println!("§3.4 bounds inflight traffic to 3 BDP, so RTT ≤ ~4 baseRTT (~96 us here).");

@@ -37,13 +37,22 @@ fn main() {
     // F3 unlimited, F4 joins at 25 ms with unlimited demand.
     let mut f1 = OnOffDriver::new(vec![(hosts[0], pairs[0])], 1_000_000 * MS, 8e9, 1 << 40);
     let mut f2 = OnOffDriver::new(vec![(hosts[1], pairs[1])], 1_000_000 * MS, 9e9, 2 << 40);
-    let mut f3 = BulkDriver::new(vec![(2 * MS, hosts[2], pairs[2], 2_000_000_000, 0)], 3 << 40);
-    let mut f4 = BulkDriver::new(vec![(25 * MS, hosts[3], pairs[3], 2_000_000_000, 0)], 4 << 40);
+    let mut f3 = BulkDriver::new(
+        vec![(2 * MS, hosts[2], pairs[2], 2_000_000_000, 0)],
+        3 << 40,
+    );
+    let mut f4 = BulkDriver::new(
+        vec![(25 * MS, hosts[3], pairs[3], 2_000_000_000, 0)],
+        4 << 40,
+    );
     let mut drivers: [&mut dyn Driver; 4] = [&mut f1, &mut f2, &mut f3, &mut f4];
     r.run(50 * MS, SLICE, &mut drivers);
 
     println!("rates after F4 joined (averaged over the last 20 ms):\n");
-    println!("{:<6} {:>14} {:>12} {:>10}", "VF", "guarantee_gbps", "rate_gbps", "met");
+    println!(
+        "{:<6} {:>14} {:>12} {:>10}",
+        "VF", "guarantee_gbps", "rate_gbps", "met"
+    );
     let guars: [f64; 4] = [9.0, 8.0, 4.0, 3.0];
     let demands = [8.0, 9.0, f64::INFINITY, f64::INFINITY];
     for (i, &p) in pairs.iter().enumerate() {

@@ -61,8 +61,14 @@ fn main() {
 
     // 4. Both tenants offer unlimited demand from t = 0.
     sim.start();
-    sim.inject(hosts[0], Box::new(AppMsg::oneway(1, pair_a, 500_000_000, 0)));
-    sim.inject(hosts[1], Box::new(AppMsg::oneway(2, pair_b, 500_000_000, 0)));
+    sim.inject(
+        hosts[0],
+        Box::new(AppMsg::oneway(1, pair_a, 500_000_000, 0)),
+    );
+    sim.inject(
+        hosts[1],
+        Box::new(AppMsg::oneway(2, pair_b, 500_000_000, 0)),
+    );
 
     // 5. Watch the allocation converge.
     println!("time_ms  tenant-a_gbps  tenant-b_gbps   (guarantees 1 : 4)");
@@ -79,9 +85,28 @@ fn main() {
         println!("{ms:>7}  {:>13.2}  {:>13.2}", rate(pair_a), rate(pair_b));
     }
     let r = rec.borrow();
-    let ra = r.pair_rates.get(&pair_a.raw()).unwrap().avg_rate(10 * MS, 20 * MS);
-    let rb = r.pair_rates.get(&pair_b.raw()).unwrap().avg_rate(10 * MS, 20 * MS);
-    println!("\nsteady state: tenant-a {:.2} Gbps, tenant-b {:.2} Gbps", ra / 1e9, rb / 1e9);
-    println!("ratio {:.2} (ideal 4.0), total {:.2} Gbps of the 9.5 Gbps target", rb / ra, (ra + rb) / 1e9);
-    assert!((rb / ra - 4.0).abs() < 1.0, "shares should be ≈ token-proportional");
+    let ra = r
+        .pair_rates
+        .get(&pair_a.raw())
+        .unwrap()
+        .avg_rate(10 * MS, 20 * MS);
+    let rb = r
+        .pair_rates
+        .get(&pair_b.raw())
+        .unwrap()
+        .avg_rate(10 * MS, 20 * MS);
+    println!(
+        "\nsteady state: tenant-a {:.2} Gbps, tenant-b {:.2} Gbps",
+        ra / 1e9,
+        rb / 1e9
+    );
+    println!(
+        "ratio {:.2} (ideal 4.0), total {:.2} Gbps of the 9.5 Gbps target",
+        rb / ra,
+        (ra + rb) / 1e9
+    );
+    assert!(
+        (rb / ra - 4.0).abs() < 1.0,
+        "shares should be ≈ token-proportional"
+    );
 }

@@ -31,7 +31,8 @@ fn recovery_gap(bounce: bool) -> Time {
     let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 11, None, 200_000);
     r.sim.bounce_probes_on_failure = bounce;
     for p in 0..n_ports {
-        r.sim.schedule_link_failure(fail_at, core1, PortNo(p as u16));
+        r.sim
+            .schedule_link_failure(fail_at, core1, PortNo(p as u16));
     }
     let mut d = BulkDriver::new(jobs, 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut d];

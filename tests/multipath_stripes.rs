@@ -44,10 +44,7 @@ fn run_with_stripes(k: usize) -> f64 {
     let b = fabric.add_vm(tenant, topo.hosts[1]);
     let stripes = fabric.add_striped_pairs(a, b, k);
     let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 17, None, MS);
-    let mut driver = StripedBulkDriver::new(
-        vec![(MS, h0, stripes.clone(), 400_000_000, 0)],
-        0,
-    );
+    let mut driver = StripedBulkDriver::new(vec![(MS, h0, stripes.clone(), 400_000_000, 0)], 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
     r.run(40 * MS, SLICE, &mut drivers);
     stripes
@@ -66,7 +63,11 @@ fn stripes_recover_oversubscribed_bisection() {
         "single stripe {:.2} G should cap at one path",
         single / 1e9
     );
-    assert!(single > 1.5e9, "single stripe {:.2} G too low", single / 1e9);
+    assert!(
+        single > 1.5e9,
+        "single stripe {:.2} G too low",
+        single / 1e9
+    );
     // Four stripes use four paths: ≥ 2.5× the single-path rate.
     assert!(
         striped > 2.5 * single,
@@ -95,14 +96,9 @@ fn stripes_share_one_guarantee_via_gp() {
     let d = fabric.add_vm(t2, topo.hosts[1]);
     let rival = fabric.add_pair(c, d);
     let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 19, None, MS);
-    let mut striped = StripedBulkDriver::new(
-        vec![(MS, h0, stripes.clone(), 400_000_000, 0)],
-        0,
-    );
-    let mut rival_d = workloads::patterns::BulkDriver::new(
-        vec![(MS, h0, rival, 400_000_000, 0)],
-        1 << 40,
-    );
+    let mut striped = StripedBulkDriver::new(vec![(MS, h0, stripes.clone(), 400_000_000, 0)], 0);
+    let mut rival_d =
+        workloads::patterns::BulkDriver::new(vec![(MS, h0, rival, 400_000_000, 0)], 1 << 40);
     let mut drivers: [&mut dyn Driver; 2] = [&mut striped, &mut rival_d];
     r.run(40 * MS, SLICE, &mut drivers);
     let striped_total: f64 = stripes

@@ -116,7 +116,8 @@ fn core_failure_recovers_all_vfs() {
     let until = 45 * MS;
     let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 4, None, MS);
     for p in 0..n_ports {
-        r.sim.schedule_link_failure(fail_at, core1, PortNo(p as u16));
+        r.sim
+            .schedule_link_failure(fail_at, core1, PortNo(p as u16));
     }
     let mut d = BulkDriver::new(jobs, 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut d];

@@ -1,0 +1,25 @@
+//! Sampling from explicit value lists.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly pick one of the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select() needs at least one value");
+    Select { values }
+}
+
+/// Output of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.values[rng.gen_range(0..self.values.len())].clone()
+    }
+}
