@@ -27,14 +27,16 @@ use crate::swift::{SwiftCfg, SwiftState};
 use metrics::recorder::SharedRecorder;
 use netsim::agent::{EdgeAgent, EdgeCtx};
 use netsim::packet::{Packet, PacketKind};
-use netsim::{NodeId, PairId, PortNo, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD, MS, US};
+use netsim::{
+    Inject, NodeId, PairId, PortNo, Route, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD, MS, US,
+};
 use std::any::Any;
 use std::collections::HashMap;
 use std::rc::Rc;
 use telemetry::ProbeFrame;
 use topology::Topo;
 use ufab::edge::wfq::{weight_class, WfqScheduler};
-use ufab::endpoint::{AppMsg, Endpoint};
+use ufab::endpoint::Endpoint;
 use ufab::fabric::FabricSpec;
 use ufab::tokens::{token_assignment, PairTokens};
 
@@ -135,7 +137,7 @@ pub struct BaselineEdge {
     wfq: WfqScheduler,
     grants: ReceiverGrants,
     routes_back: HashMap<NodeId, Vec<PortNo>>,
-    reverse_cache: HashMap<(NodeId, Vec<PortNo>), Vec<PortNo>>,
+    reverse_cache: HashMap<(NodeId, Route), Vec<PortNo>>,
     nic_bps: u64,
 }
 
@@ -319,7 +321,7 @@ impl BaselineEdge {
                 tenant: p.tenant,
                 size: 64,
                 kind: PacketKind::Probe(frame),
-                route: p.paths[i].route.clone(),
+                route: p.paths[i].route.clone().into(),
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
@@ -398,7 +400,7 @@ impl BaselineEdge {
                 tenant: p.tenant,
                 size,
                 kind: PacketKind::Data(info),
-                route: p.paths[path_idx].route.clone(),
+                route: p.paths[path_idx].route.clone().into(),
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
@@ -477,7 +479,7 @@ impl EdgeAgent for BaselineEdge {
                     tenant: pkt.tenant,
                     size: ACK_SIZE,
                     kind: PacketKind::Ack(ack),
-                    route,
+                    route: route.into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -535,7 +537,7 @@ impl EdgeAgent for BaselineEdge {
                     tenant: pkt.tenant,
                     size: 64,
                     kind: PacketKind::Response(resp),
-                    route,
+                    route: route.into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -563,16 +565,12 @@ impl EdgeAgent for BaselineEdge {
         self.pump(ctx);
     }
 
-    fn on_inject(&mut self, ctx: &mut EdgeCtx, data: Box<dyn Any>) {
-        match data.downcast::<AppMsg>() {
-            Ok(msg) => {
-                let pair = msg.pair;
-                self.ep.submit(ctx.now, *msg);
-                self.activate_pair(ctx, pair);
-                self.pump(ctx);
-            }
-            Err(_) => panic!("BaselineEdge received unknown injection"),
-        }
+    fn on_inject(&mut self, ctx: &mut EdgeCtx, msg: Inject) {
+        let Inject::App(msg) = msg;
+        let pair = msg.pair;
+        self.ep.submit(ctx.now, msg);
+        self.activate_pair(ctx, pair);
+        self.pump(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -588,6 +586,7 @@ impl EdgeAgent for BaselineEdge {
 mod tests {
     use super::*;
     use metrics::recorder;
+    use netsim::AppMsg;
     use netsim::Simulator;
     use topology::dumbbell;
 
@@ -644,7 +643,7 @@ mod tests {
         let h = topo.hosts[0];
         let (mut sim, _t, _f, rec) = build(BaselineKind::PicnicWccClove, topo, fabric, 1);
         sim.start();
-        sim.inject(h, Box::new(AppMsg::oneway(1, p, 100_000_000, 0)));
+        sim.inject(h, AppMsg::oneway(1, p, 100_000_000, 0));
         sim.run_until(30 * MS);
         let r = rate(&rec, p.raw(), 10 * MS, 30 * MS);
         assert!(r > 7.5e9, "PWC single flow {:.2} Gbps", r / 1e9);
@@ -667,8 +666,8 @@ mod tests {
         let hosts = topo.hosts.clone();
         let (mut sim, _t, _f, rec) = build(BaselineKind::ElasticSwitchClove, topo, fabric, 2);
         sim.start();
-        sim.inject(hosts[0], Box::new(AppMsg::oneway(1, p0, 200_000_000, 0)));
-        sim.inject(hosts[1], Box::new(AppMsg::oneway(2, p1, 200_000_000, 0)));
+        sim.inject(hosts[0], AppMsg::oneway(1, p0, 200_000_000, 0));
+        sim.inject(hosts[1], AppMsg::oneway(2, p1, 200_000_000, 0));
         sim.run_until(40 * MS);
         let r0 = rate(&rec, p0.raw(), 15 * MS, 40 * MS);
         let r1 = rate(&rec, p1.raw(), 15 * MS, 40 * MS);
@@ -690,8 +689,8 @@ mod tests {
         let hosts = topo.hosts.clone();
         let (mut sim, _t, _f, rec) = build(BaselineKind::PicnicWccClove, topo, fabric, 3);
         sim.start();
-        sim.inject(hosts[0], Box::new(AppMsg::oneway(1, p0, 200_000_000, 0)));
-        sim.inject(hosts[1], Box::new(AppMsg::oneway(2, p1, 200_000_000, 0)));
+        sim.inject(hosts[0], AppMsg::oneway(1, p0, 200_000_000, 0));
+        sim.inject(hosts[1], AppMsg::oneway(2, p1, 200_000_000, 0));
         sim.run_until(50 * MS);
         let r0 = rate(&rec, p0.raw(), 25 * MS, 50 * MS);
         let r1 = rate(&rec, p1.raw(), 25 * MS, 50 * MS);

@@ -1,0 +1,107 @@
+//! `simbench` — wall-clock simulator benchmarks with a JSON trail.
+//!
+//! ```text
+//! simbench [--smoke] [--jobs N] [--out PATH]
+//! ```
+//!
+//! Measures (1) single-run event-loop throughput (events/sec) on the
+//! Fig-11-style testbed permutation and (2) the end-to-end wall clock of
+//! `fig11 --quick` serially (`jobs=1`) and with the parallel executor
+//! (`--jobs N`, default 4). Results append to the perf trajectory as
+//! `BENCH_PR2.json` (override with `--out`); see `bench::report` for the
+//! schema.
+//!
+//! `--smoke` runs a seconds-scale subset (short horizon, no end-to-end
+//! runs) for CI: it exercises every code path and writes the JSON file,
+//! but the numbers are not meant to be compared.
+
+use bench::report::{git_rev, write_json, BenchRecord};
+use bench::scenario::run_testbed_permutation;
+use experiments::executor;
+use experiments::scenarios::common::Scale;
+use experiments::scenarios::fig11;
+use netsim::MS;
+use std::time::Instant;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_PR2.json".to_string();
+    let mut par_jobs = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--jobs" => {
+                par_jobs = it
+                    .next()
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("jobs must be an integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: simbench [--smoke] [--jobs N] [--out PATH]");
+                return;
+            }
+            s => {
+                eprintln!("error: unknown argument {s}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rev = git_rev();
+    let mut records = Vec::new();
+
+    // (1) Single-run event-loop throughput. Best-of-N wall clock to damp
+    // scheduler noise; the event count is deterministic.
+    let until = if smoke { 10 * MS } else { 120 * MS };
+    let iters = if smoke { 1 } else { 3 };
+    let mut best_ms = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        events = run_testbed_permutation(1, until);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    eprintln!(
+        "[simbench] testbed_permutation: {events} events in {best_ms:.0} ms \
+         ({:.0} events/sec)",
+        events as f64 / (best_ms / 1e3)
+    );
+    records.push(BenchRecord {
+        bench: "testbed_permutation".to_string(),
+        events_per_sec: events as f64 / (best_ms / 1e3),
+        wall_ms: best_ms,
+        jobs: 1,
+        git_rev: rev.clone(),
+    });
+
+    // (2) End-to-end fig11 --quick, serial vs parallel executor. Skipped
+    // in smoke mode (tens of seconds per run).
+    if !smoke {
+        for jobs in [1usize, par_jobs] {
+            executor::set_jobs(jobs);
+            let t0 = Instant::now();
+            let (_, ev) = fig11::run_with_stats(Scale::default());
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "[simbench] fig11_quick jobs={jobs}: {ev} events in {wall_ms:.0} ms \
+                 ({:.0} events/sec)",
+                ev as f64 / (wall_ms / 1e3)
+            );
+            records.push(BenchRecord {
+                bench: "fig11_quick".to_string(),
+                events_per_sec: ev as f64 / (wall_ms / 1e3),
+                wall_ms,
+                jobs,
+                git_rev: rev.clone(),
+            });
+        }
+    }
+
+    if let Err(e) = write_json(&out, &records) {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[simbench] wrote {out}");
+}

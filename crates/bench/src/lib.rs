@@ -6,14 +6,21 @@
 //! * `simbench` — end-to-end simulator throughput (events/sec) under μFAB
 //!   and under the baselines, plus topology path enumeration.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. The `simbench` *binary* (not the
+//! Criterion target) measures end-to-end wall clock and writes the
+//! `BENCH_*.json` perf trajectory — see [`report`].
+
+pub mod report;
 
 /// Re-exported so the bench targets share one scenario builder.
 pub mod scenario {
-    use experiments::harness::{Runner, SystemKind};
-    use netsim::MS;
+    use experiments::harness::{Runner, SystemKind, SLICE};
+    use netsim::{NodeId, PairId, Time, MS};
+    use topology::TestbedCfg;
     use ufab::endpoint::AppMsg;
     use ufab::FabricSpec;
+    use workloads::driver::Driver;
+    use workloads::patterns::BulkDriver;
 
     /// A ready-to-run two-tenant dumbbell contention scenario.
     pub fn dumbbell_contention(system: SystemKind, seed: u64) -> Runner {
@@ -31,10 +38,37 @@ pub mod scenario {
         let h1 = topo.hosts[1];
         let mut r = Runner::new(topo, fabric, system, seed, None, MS);
         r.sim.start();
-        r.sim
-            .inject(h0, Box::new(AppMsg::oneway(1, pa, 1_000_000_000, 0)));
-        r.sim
-            .inject(h1, Box::new(AppMsg::oneway(2, pb, 1_000_000_000, 0)));
+        r.sim.inject(h0, AppMsg::oneway(1, pa, 1_000_000_000, 0));
+        r.sim.inject(h1, AppMsg::oneway(2, pb, 1_000_000_000, 0));
         r
+    }
+
+    /// Drive the Fig-11-style cross-pod permutation on the 10 G testbed
+    /// (three guarantee classes per source host, staggered joins, bulk
+    /// demand) until `until`, returning the number of simulator events
+    /// processed. This is the single-run hot-path benchmark workload.
+    pub fn run_testbed_permutation(seed: u64, until: Time) -> u64 {
+        let topo = topology::testbed(TestbedCfg::default());
+        let mut fabric = FabricSpec::new(500e6);
+        let classes = [(1u64, 2.0), (2, 4.0), (5, 10.0)];
+        let mut jobs: Vec<(Time, NodeId, PairId, u64, u32)> = Vec::new();
+        let mut k = 0;
+        for hi in 0..4 {
+            for &(gbps, tokens) in &classes {
+                let t = fabric.add_tenant(&format!("{gbps}G-h{hi}"), tokens);
+                let src = topo.hosts[hi];
+                let dst = topo.hosts[4 + hi];
+                let v0 = fabric.add_vm(t, src);
+                let v1 = fabric.add_vm(t, dst);
+                let pair = fabric.add_pair(v0, v1);
+                jobs.push((MS + k as Time * MS, src, pair, 8_000_000_000, 0));
+                k += 1;
+            }
+        }
+        let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, None, MS);
+        let mut driver = BulkDriver::new(jobs, 0);
+        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+        r.run(until, SLICE, &mut drivers);
+        r.sim.stats().events
     }
 }

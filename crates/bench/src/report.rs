@@ -1,0 +1,111 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every wall-clock benchmark in this crate appends its result to a
+//! `BENCH_*.json` file at the repo root so future PRs can diff
+//! performance against the recorded trajectory. The schema is a JSON
+//! array of records:
+//!
+//! ```json
+//! [{"bench": "...", "events_per_sec": 1.2e6, "wall_ms": 830.0,
+//!   "jobs": 1, "git_rev": "abc1234"}]
+//! ```
+//!
+//! Serialization is hand-rolled (the workspace deliberately has no JSON
+//! dependency); field order is fixed so diffs stay readable.
+
+use std::io::Write;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `testbed_permutation`.
+    pub bench: String,
+    /// Simulator events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock time of the measured section in milliseconds.
+    pub wall_ms: f64,
+    /// Executor worker count the measurement ran with.
+    pub jobs: usize,
+    /// `git rev-parse --short HEAD` at measurement time.
+    pub git_rev: String,
+}
+
+/// Best-effort short git revision; `"unknown"` outside a work tree.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Render records as a JSON array (one record per line).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
+             \"jobs\": {}, \"git_rev\": \"{}\"}}{}\n",
+            escape(&r.bench),
+            r.events_per_sec,
+            r.wall_ms,
+            r.jobs,
+            escape(&r.git_rev),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write records to `path` as JSON.
+pub fn write_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let rec = BenchRecord {
+            bench: "x\"y".to_string(),
+            events_per_sec: 1_234_567.89,
+            wall_ms: 12.345,
+            jobs: 4,
+            git_rev: "abc1234".to_string(),
+        };
+        let j = to_json(&[rec.clone(), rec]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.ends_with("]\n"));
+        assert!(j.contains("\"bench\": \"x\\\"y\""));
+        assert!(j.contains("\"events_per_sec\": 1234567.9"));
+        assert!(j.contains("\"wall_ms\": 12.3"));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"git_rev\": \"abc1234\""));
+        // Exactly one comma: two records.
+        assert_eq!(j.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

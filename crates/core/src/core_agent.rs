@@ -392,7 +392,7 @@ mod tests {
             tenant: TenantId(0),
             size: 90,
             kind: PacketKind::Probe(frame),
-            route: vec![],
+            route: netsim::Route::new(),
             hop: 0,
             ecn: false,
             max_util: 0.0,

@@ -31,7 +31,9 @@ use crate::tokens::{token_admission, token_assignment, PairTokens};
 use metrics::recorder::SharedRecorder;
 use netsim::agent::{EdgeAgent, EdgeCtx};
 use netsim::packet::{Packet, PacketKind};
-use netsim::{NodeId, PairId, PortNo, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD};
+use netsim::{
+    Inject, NodeId, PairId, PortNo, Route, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD,
+};
 use obs::{Category as ObsCategory, Event as ObsEvent, ObsHandle};
 use rand::Rng;
 use std::any::Any;
@@ -171,7 +173,7 @@ pub struct UfabEdge {
     rx_admitted: HashMap<PairId, f64>,
     wfq: WfqScheduler,
     routes_back: HashMap<NodeId, Vec<PortNo>>,
-    reverse_cache: HashMap<(NodeId, Vec<PortNo>), Vec<PortNo>>,
+    reverse_cache: HashMap<(NodeId, Route), Vec<PortNo>>,
     /// Round-robin cursor for the budgeted demand-less keep-alive probes.
     keepalive_cursor: u64,
     /// Counters.
@@ -216,7 +218,7 @@ impl UfabEdge {
     }
 
     /// Submit a message directly (tests / drivers with agent access).
-    /// Inside a simulation prefer `sim.inject(host, Box::new(msg))`.
+    /// Inside a simulation prefer `sim.inject(host, msg)`.
     pub fn submit(&mut self, ctx: &mut EdgeCtx, msg: AppMsg) {
         let pair = msg.pair;
         self.ep.submit(ctx.now, msg);
@@ -505,7 +507,7 @@ impl UfabEdge {
             tenant: pc.tenant,
             size,
             kind: PacketKind::Probe(frame),
-            route: info.route.clone(),
+            route: info.route.clone().into(),
             hop: 0,
             ecn: false,
             max_util: 0.0,
@@ -954,7 +956,7 @@ impl UfabEdge {
                 tenant,
                 size,
                 kind: PacketKind::Finish(frame),
-                route,
+                route: route.into(),
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
@@ -1018,7 +1020,12 @@ impl UfabEdge {
         let now = ctx.now;
         self.gp_sender_tick(now);
         self.gp_receiver_tick(now);
-        let pair_ids: Vec<PairId> = self.pairs.keys().copied().collect();
+        // Sorted so probe/timeout/migration processing order is
+        // independent of HashMap hashing — keeps same-seed runs
+        // byte-identical across processes (checked by the determinism
+        // digest).
+        let mut pair_ids: Vec<PairId> = self.pairs.keys().copied().collect();
+        pair_ids.sort();
         let mut need_pump = false;
         for pair in pair_ids {
             // Probe-loss detection (8 baseRTT timeout, §4.1).
@@ -1204,7 +1211,7 @@ impl UfabEdge {
                 tenant: pc.tenant,
                 size: wire_size,
                 kind: PacketKind::Data(info),
-                route: pc.cur_path().route.clone(),
+                route: pc.cur_path().route.clone().into(),
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
@@ -1235,7 +1242,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size: ACK_SIZE,
                     kind: PacketKind::Ack(ack),
-                    route,
+                    route: route.into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1280,7 +1287,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size,
                     kind: PacketKind::Response(resp),
-                    route,
+                    route: route.into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1303,7 +1310,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size: pkt.size,
                     kind: PacketKind::FinishAck(echo),
-                    route,
+                    route: route.into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1329,11 +1336,9 @@ impl EdgeAgent for UfabEdge {
         self.pump(ctx);
     }
 
-    fn on_inject(&mut self, ctx: &mut EdgeCtx, data: Box<dyn Any>) {
-        match data.downcast::<AppMsg>() {
-            Ok(msg) => self.submit(ctx, *msg),
-            Err(_) => panic!("UfabEdge received unknown injection"),
-        }
+    fn on_inject(&mut self, ctx: &mut EdgeCtx, msg: Inject) {
+        let Inject::App(msg) = msg;
+        self.submit(ctx, msg);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -29,50 +29,9 @@ use telemetry::RateEstimator;
 /// Flow-id bit marking an auto-generated RPC reply.
 pub const REPLY_FLAG: u64 = 1 << 63;
 
-/// An application message to transmit on a pair.
-#[derive(Debug, Clone)]
-pub struct AppMsg {
-    /// Flow identifier (unique per message).
-    pub flow: FlowId,
-    /// Pair to send on.
-    pub pair: PairId,
-    /// Payload size in bytes.
-    pub size: u64,
-    /// If nonzero, the receiver auto-replies with this many bytes on the
-    /// reverse pair (which must be registered in the fabric).
-    pub reply_size: u64,
-    /// Workload tag carried through to completions.
-    pub tag: u32,
-    /// Submission timestamp override (replies inherit the request's) —
-    /// `None` uses the time of `submit`.
-    pub start_at: Option<Time>,
-}
-
-impl AppMsg {
-    /// A one-way message.
-    pub fn oneway(flow: u64, pair: PairId, size: u64, tag: u32) -> Self {
-        Self {
-            flow: FlowId(flow),
-            pair,
-            size,
-            reply_size: 0,
-            tag,
-            start_at: None,
-        }
-    }
-
-    /// A request expecting a `reply_size`-byte response.
-    pub fn request(flow: u64, pair: PairId, size: u64, reply_size: u64, tag: u32) -> Self {
-        Self {
-            flow: FlowId(flow),
-            pair,
-            size,
-            reply_size,
-            tag,
-            start_at: None,
-        }
-    }
-}
+// `AppMsg` now lives in `netsim` (shared by every layer); re-exported
+// here so existing `ufab::endpoint::AppMsg` imports keep working.
+pub use netsim::AppMsg;
 
 #[derive(Debug)]
 struct PendingMsg {
@@ -550,7 +509,7 @@ mod tests {
             tenant: TenantId(0),
             size: d.payload + DATA_OVERHEAD,
             kind: PacketKind::Data(d),
-            route: vec![PortNo(0)],
+            route: [PortNo(0)].into(),
             hop: 0,
             ecn: false,
             max_util: 0.0,

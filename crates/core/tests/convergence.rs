@@ -71,7 +71,7 @@ fn single_pair_reaches_target_utilization() {
     let cfg = UfabConfig::default();
     let (mut sim, _topo, _fabric, rec) = build(topo, fabric, &cfg, 1);
     sim.start();
-    sim.inject(h0, Box::new(AppMsg::oneway(1, pair, 200_000_000, 0)));
+    sim.inject(h0, AppMsg::oneway(1, pair, 200_000_000, 0));
     sim.run_until(40 * MS);
     // Work conservation: a single pair should fill ~95 % of 10G.
     let rate = rate_of(&rec, pair.raw(), 10 * MS, 40 * MS);
@@ -100,10 +100,7 @@ fn token_proportional_sharing_1_2_5() {
     let (mut sim, _topo, _fabric, rec) = build(topo, fabric, &cfg, 2);
     sim.start();
     for (i, &p) in pairs.iter().enumerate() {
-        sim.inject(
-            hosts[i],
-            Box::new(AppMsg::oneway(i as u64, p, 400_000_000, 0)),
-        );
+        sim.inject(hosts[i], AppMsg::oneway(i as u64, p, 400_000_000, 0));
     }
     sim.run_until(40 * MS);
     let r: Vec<f64> = pairs
@@ -146,11 +143,11 @@ fn work_conservation_with_insufficient_demand() {
     sim.start();
     // Hungry tenant: one huge message. Limited tenant: trickle of 64 KB
     // messages every millisecond ≈ 0.5 Gbps offered.
-    sim.inject(hosts[1], Box::new(AppMsg::oneway(100, p1, 400_000_000, 0)));
+    sim.inject(hosts[1], AppMsg::oneway(100, p1, 400_000_000, 0));
     for k in 0..40u64 {
         let at = k * MS;
         sim.run_until(at);
-        sim.inject(hosts[0], Box::new(AppMsg::oneway(k, p0, 62_500, 0)));
+        sim.inject(hosts[0], AppMsg::oneway(k, p0, 62_500, 0));
     }
     sim.run_until(40 * MS);
     let r0 = rate_of(&rec, p0.raw(), 10 * MS, 40 * MS);
@@ -183,10 +180,7 @@ fn incast_latency_bounded() {
     sim.start();
     // Synchronized start — the worst case of §3.4.
     for (i, &p) in pairs.iter().enumerate() {
-        sim.inject(
-            srcs[i],
-            Box::new(AppMsg::oneway(i as u64, p, 40_000_000, 0)),
-        );
+        sim.inject(srcs[i], AppMsg::oneway(i as u64, p, 40_000_000, 0));
     }
     sim.run_until(40 * MS);
     let mut rtts = rec.borrow_mut().rtts.clone();
@@ -225,7 +219,7 @@ fn deterministic_with_same_seed() {
         let cfg = UfabConfig::default();
         let (mut sim, _t, _f, rec) = build(topo, fabric, &cfg, seed);
         sim.start();
-        sim.inject(hosts[0], Box::new(AppMsg::oneway(1, p, 10_000_000, 0)));
+        sim.inject(hosts[0], AppMsg::oneway(1, p, 10_000_000, 0));
         sim.run_until(20 * MS);
         let delivered = rec.borrow().delivered_bytes;
         (delivered, sim.stats().events)
@@ -249,7 +243,7 @@ fn probe_overhead_stays_bounded() {
     let cfg = UfabConfig::default();
     let (mut sim, _t, _f, _rec) = build(topo, fabric, &cfg, 5);
     sim.start();
-    sim.inject(hosts[0], Box::new(AppMsg::oneway(1, p, 100_000_000, 0)));
+    sim.inject(hosts[0], AppMsg::oneway(1, p, 100_000_000, 0));
     sim.run_until(50 * MS);
     let st = sim.stats();
     assert!(st.host_bytes_tx > 0);

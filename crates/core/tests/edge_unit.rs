@@ -126,7 +126,7 @@ fn response_updates_window_from_eqn3() {
         tenant: probe_pkt.tenant,
         size: 90,
         kind: PacketKind::Response(resp),
-        route: vec![],
+        route: netsim::Route::new(),
         hop: 0,
         ecn: false,
         max_util: 0.0,
@@ -159,7 +159,7 @@ fn idle_pair_sends_finish_and_deactivates() {
             grant_bps: 0.0,
             payload: 500,
         }),
-        route: vec![],
+        route: netsim::Route::new(),
         hop: 0,
         ecn: false,
         max_util: 0.0,
@@ -205,7 +205,7 @@ fn received_probe_is_answered_with_admitted_tokens() {
         tenant: netsim::TenantId(0),
         size: 90,
         kind: PacketKind::Probe(frame),
-        route: vec![netsim::PortNo(0), netsim::PortNo(0)],
+        route: [netsim::PortNo(0), netsim::PortNo(0)].into(),
         hop: 2,
         ecn: false,
         max_util: 0.0,

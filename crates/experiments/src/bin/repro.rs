@@ -1,15 +1,21 @@
 //! `repro` — regenerate the paper's evaluation figures and tables.
 //!
 //! ```text
-//! repro [SCENARIO...] [--full] [--seed N] [--servers N]
+//! repro [SCENARIO...] [--full] [--seed N] [--servers N] [--jobs N]
 //!       [--trace [EVENTS]] [--check-invariants]
 //!
 //! SCENARIO ∈ fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b fig16
-//!            fig17 fig18ab fig18c fig20 table3 table4 tokens all
+//!            fig17 fig18ab fig18c fig20 table3 table4 tokens ablate all
 //! ```
 //!
 //! Default (no scenario): `all` in quick mode. `--full` runs paper-scale
 //! parameters (slower). CSV mirrors land in `results/`.
+//!
+//! `--jobs N` (or `UFAB_JOBS=N`) sets the worker-thread count for the
+//! parallel experiment executor; the default is the number of available
+//! cores. Results are merged in submission order, so the output —
+//! stdout, CSVs, and determinism digests — is byte-identical for every
+//! N (`--jobs 1` reproduces the fully serial run).
 //!
 //! `--trace` attaches a flight recorder (default 65536 events) and the
 //! determinism digest to every run and prints a drop/ECN/retransmit
@@ -23,6 +29,21 @@ use experiments::scenarios::{
     fig5, tables, tokens_demo,
 };
 
+/// Every name `repro` accepts on the command line.
+const KNOWN_SCENARIOS: &[&str] = &[
+    "fig4", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "fig17",
+    "fig18ab", "fig18c", "fig20", "table3", "table4", "tokens", "ablate", "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N] [--jobs N] \
+         [--trace [EVENTS]] [--check-invariants]\n\
+         scenarios: {}",
+        KNOWN_SCENARIOS.join(" ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default();
@@ -32,6 +53,14 @@ fn main() {
         match arg.as_str() {
             "--full" => scale.quick = false,
             "--quick" => scale.quick = true,
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("jobs must be an integer");
+                experiments::executor::set_jobs(n.max(1));
+            }
             "--seed" => {
                 scale.seed = it
                     .next()
@@ -60,16 +89,22 @@ fn main() {
             }
             "--check-invariants" => scale.check_invariants = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N] \
-                     [--trace [EVENTS]] [--check-invariants]\n\
-                     scenarios: fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b \
-                     fig16 fig17 fig18ab fig18c fig20 table3 table4 tokens ablate all"
-                );
+                println!("{}", usage());
                 return;
             }
-            s if s.starts_with("--") => panic!("unknown flag {s}"),
-            s => scenarios.push(s.to_string()),
+            s if s.starts_with("--") => {
+                eprintln!("error: unknown flag {s}\n{}", usage());
+                std::process::exit(2);
+            }
+            s => {
+                // A typo'd scenario used to be accepted (and silently run
+                // nothing); reject unknown names up front instead.
+                if !KNOWN_SCENARIOS.contains(&s) {
+                    eprintln!("error: unknown scenario '{s}'\n{}", usage());
+                    std::process::exit(2);
+                }
+                scenarios.push(s.to_string());
+            }
         }
     }
     if scenarios.is_empty() {

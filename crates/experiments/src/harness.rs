@@ -351,7 +351,7 @@ impl WorkloadPort for Runner {
     }
 
     fn inject(&mut self, host: NodeId, msg: AppMsg) {
-        self.sim.inject(host, Box::new(msg));
+        self.sim.inject(host, msg);
     }
 
     fn backlog(&self, host: NodeId, pair: PairId) -> u64 {
@@ -430,8 +430,7 @@ mod tests {
             let host = topo.hosts[0];
             let mut r = Runner::new(topo, fabric, system, 1, None, MS);
             r.sim.start();
-            r.sim
-                .inject(host, Box::new(AppMsg::oneway(1, pair, 5_000_000, 0)));
+            r.sim.inject(host, AppMsg::oneway(1, pair, 5_000_000, 0));
             r.sim.run_until(10 * MS);
             let rate = r.pair_rate(pair, 0, 10 * MS);
             assert!(

@@ -13,7 +13,9 @@
 
 #![deny(missing_docs)]
 
+pub mod executor;
 pub mod harness;
 pub mod scenarios;
 
+pub use executor::{run_jobs, Job};
 pub use harness::{Runner, SystemKind};

@@ -12,6 +12,7 @@
 //! (utilisation stress). The table shows what each mechanism buys.
 
 use super::common::{emit, incast_on_testbed, run_incast, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use netsim::MS;
@@ -87,41 +88,44 @@ pub fn run(scale: Scale) -> Table {
         "wc_utilization",
         "migrations",
     ]);
-    for (name, cfg) in variants() {
-        // Incast stress.
-        let (topo, fabric, srcs, pairs, _dst) =
-            incast_on_testbed(10, TestbedCfg::default(), 1.0, 500e6);
-        let r = {
-            let mut r = Runner::new(
-                topo,
-                fabric,
-                SystemKind::Ufab,
-                scale.seed,
-                Some(cfg.clone()),
-                MS,
-            );
-            r.watch_all_switch_queues();
-            let jobs: Vec<_> = srcs
-                .iter()
-                .zip(&pairs)
-                .map(|(&s, &p)| (MS, s, p, 20_000_000u64, 0u32))
-                .collect();
-            let mut d = BulkDriver::new(jobs, 0);
-            let mut drivers: [&mut dyn Driver; 1] = [&mut d];
-            r.run(25 * MS, SLICE, &mut drivers);
-            r
-        };
-        let mut rtts = r.rec.borrow_mut().rtts.clone();
-        let migrations = r.rec.borrow().path_migrations;
-        let util = work_conservation_util(&cfg, scale.seed);
-        table.row([
-            name.to_string(),
-            format!("{:.1}", rtts.percentile(99.9).unwrap_or(f64::NAN) / 1e3),
-            format!("{:.1}", rtts.max().unwrap_or(f64::NAN) / 1e3),
-            format!("{util:.3}"),
-            migrations.to_string(),
-        ]);
-        let _ = run_incast;
+    let jobs_list: Vec<Job<[String; 5]>> = variants()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let seed = scale.seed;
+            Job::new(format!("ablation:{name}"), move || {
+                // Incast stress.
+                let (topo, fabric, srcs, pairs, _dst) =
+                    incast_on_testbed(10, TestbedCfg::default(), 1.0, 500e6);
+                let r = {
+                    let mut r =
+                        Runner::new(topo, fabric, SystemKind::Ufab, seed, Some(cfg.clone()), MS);
+                    r.watch_all_switch_queues();
+                    let jobs: Vec<_> = srcs
+                        .iter()
+                        .zip(&pairs)
+                        .map(|(&s, &p)| (MS, s, p, 20_000_000u64, 0u32))
+                        .collect();
+                    let mut d = BulkDriver::new(jobs, 0);
+                    let mut drivers: [&mut dyn Driver; 1] = [&mut d];
+                    r.run(25 * MS, SLICE, &mut drivers);
+                    r
+                };
+                let mut rtts = r.rec.borrow_mut().rtts.clone();
+                let migrations = r.rec.borrow().path_migrations;
+                let util = work_conservation_util(&cfg, seed);
+                let _ = run_incast;
+                [
+                    name.to_string(),
+                    format!("{:.1}", rtts.percentile(99.9).unwrap_or(f64::NAN) / 1e3),
+                    format!("{:.1}", rtts.max().unwrap_or(f64::NAN) / 1e3),
+                    format!("{util:.3}"),
+                    migrations.to_string(),
+                ]
+            })
+        })
+        .collect();
+    for row in run_jobs(jobs_list) {
+        table.row(row);
     }
     emit(
         "ablation",

@@ -68,15 +68,23 @@ pub fn apply_obs(scale: &Scale, r: &mut Runner) {
     }
 }
 
-/// Per-run observability epilogue: print the drop/ECN/retransmit stats
+/// Per-run observability epilogue: the drop/ECN/retransmit stats
 /// breakdown and any invariant-violation reports, folding violations
 /// into the process-wide total shown by the repro footer.
-pub fn obs_epilogue(scale: &Scale, r: &Runner, label: &str) {
+///
+/// Returns the report as a string (empty when observability is off)
+/// instead of printing, so parallel jobs can run it on worker threads
+/// and the merge step can print reports in deterministic submission
+/// order.
+pub fn obs_epilogue(scale: &Scale, r: &Runner, label: &str) -> String {
+    use std::fmt::Write;
     if scale.trace.is_none() && !scale.check_invariants {
-        return;
+        return String::new();
     }
+    let mut out = String::new();
     let s = r.sim.stats();
-    println!(
+    writeln!(
+        out,
         "[obs {label}] events {}  host-tx {} B  drops {} (overflow {}, link-down {}, \
          random {})  ecn {}  retx {}  link-flaps {}",
         s.events,
@@ -88,21 +96,24 @@ pub fn obs_epilogue(scale: &Scale, r: &Runner, label: &str) {
         s.ecn_marked,
         s.retx_pkts,
         s.link_flaps
-    );
+    )
+    .expect("write to string");
     if let Some(d) = r.sim.det_digest() {
-        println!("[obs {label}] determinism digest {d:016x}");
+        writeln!(out, "[obs {label}] determinism digest {d:016x}").expect("write to string");
     }
     if scale.check_invariants {
         let n = r.invariant_violations();
         VIOLATIONS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         let evals = r.invariants.as_ref().map(|s| s.evaluations()).unwrap_or(0);
         if n == 0 {
-            println!("[obs {label}] invariants clean ({evals} evaluations)");
+            writeln!(out, "[obs {label}] invariants clean ({evals} evaluations)")
+                .expect("write to string");
         } else {
-            println!("[obs {label}] {n} invariant violation(s):");
-            print!("{}", r.invariant_report());
+            writeln!(out, "[obs {label}] {n} invariant violation(s):").expect("write to string");
+            write!(out, "{}", r.invariant_report()).expect("write to string");
         }
     }
+    out
 }
 
 /// Build an N-to-1 incast on the paper's testbed: `n` sources (one per
@@ -131,8 +142,10 @@ pub fn incast_on_testbed(
     (topo, fabric, srcs, pairs, dst)
 }
 
-/// Run an incast of `bytes` per sender starting at `start`, returning the
-/// runner after `until`. Honors the observability knobs in `scale`.
+/// Run an incast of `bytes` per sender starting at `start`, returning
+/// the runner after `until` plus the observability epilogue text (print
+/// it in submission order when merging parallel jobs). Honors the
+/// observability knobs in `scale`.
 pub fn run_incast(
     topo: Topo,
     fabric: FabricSpec,
@@ -143,7 +156,7 @@ pub fn run_incast(
     bytes: u64,
     start: Time,
     until: Time,
-) -> Runner {
+) -> (Runner, String) {
     let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);
     r.watch_all_switch_queues();
     apply_obs(scale, &mut r);
@@ -155,8 +168,23 @@ pub fn run_incast(
     let mut driver = BulkDriver::new(jobs, 0);
     let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
     r.run(until, crate::harness::SLICE, &mut drivers);
-    obs_epilogue(scale, &r, system.label());
-    r
+    let epilogue = obs_epilogue(scale, &r, system.label());
+    (r, epilogue)
+}
+
+/// Deterministic in-place Fisher–Yates shuffle driven by an xorshift64
+/// generator seeded from `seed`. Identical results on every platform
+/// and run — scenario join orders and workload permutations must not
+/// depend on `std` RNG internals.
+pub fn det_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for i in (1..items.len()).rev() {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        let j = (rng_state as usize) % (i + 1);
+        items.swap(i, j);
+    }
 }
 
 /// Format a float with the given precision, for table cells.

@@ -7,7 +7,8 @@
 //! `stagger`; the paper reports (a–c) per-class rate evolution, (d) the
 //! bandwidth-dissatisfaction curve, and (e) the switch-queue CDF.
 
-use super::common::{apply_obs, emit, obs_epilogue, Scale};
+use super::common::{apply_obs, det_shuffle, emit, obs_epilogue, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use metrics::DissatisfactionMeter;
@@ -44,22 +45,110 @@ fn setup(stagger: Time, seed: u64) -> Setup {
         }
     }
     // Random join order, one every `stagger`.
-    let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    for i in (1..joins.len()).rev() {
-        rng_state ^= rng_state << 13;
-        rng_state ^= rng_state >> 7;
-        rng_state ^= rng_state << 17;
-        let j = (rng_state as usize) % (i + 1);
-        joins.swap(i, j);
-    }
+    det_shuffle(&mut joins, seed);
     for (k, (src, pair, gbps)) in joins.into_iter().enumerate() {
         vfs.push((MS + k as Time * stagger, src, pair, gbps));
     }
     Setup { topo, fabric, vfs }
 }
 
+/// What one per-system run sends back from its worker thread.
+struct SystemResult {
+    rate_rows: Vec<[String; 5]>,
+    summary_row: [String; 6],
+    epilogue: String,
+    events: u64,
+}
+
+fn run_system(system: SystemKind, scale: Scale, stagger: Time) -> SystemResult {
+    let s = setup(stagger, scale.seed);
+    let until = s.vfs.last().unwrap().0 + 12 * stagger.max(5 * MS);
+    let vfs = s.vfs.clone();
+    let mut r = Runner::new(s.topo, s.fabric, system, scale.seed, None, MS);
+    r.watch_all_switch_queues();
+    apply_obs(&scale, &mut r);
+    let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = vfs
+        .iter()
+        .map(|&(at, src, pair, _)| (at, src, pair, 8_000_000_000, 0))
+        .collect();
+    let mut driver = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+    r.run(until, SLICE, &mut drivers);
+    let epilogue = obs_epilogue(&scale, &r, system.label());
+
+    // (a–c) per-VF rate series.
+    let mut rate_rows = Vec::new();
+    let rec = r.rec.borrow();
+    for b in 0..(until / MS) as usize {
+        for (vi, &(_, _, pair, gbps)) in vfs.iter().enumerate() {
+            let rate = rec
+                .pair_rates
+                .get(&pair.raw())
+                .map(|s| s.rate_at(b))
+                .unwrap_or(0.0);
+            rate_rows.push([
+                system.label().to_string(),
+                b.to_string(),
+                gbps.to_string(),
+                format!("vf{vi}"),
+                format!("{:.2}", rate / 1e9),
+            ]);
+        }
+    }
+    // (d) dissatisfaction: each VF is entitled to its guarantee from
+    // its join time (demand is unlimited).
+    let mut meter = DissatisfactionMeter::new();
+    for b in 0..(until / MS) as usize {
+        let t = b as Time * MS;
+        let entries: Vec<(f64, f64, f64)> = vfs
+            .iter()
+            .filter(|&&(at, _, _, _)| t >= at)
+            .map(|&(_, _, pair, gbps)| {
+                let rate = rec
+                    .pair_rates
+                    .get(&pair.raw())
+                    .map(|s| s.rate_at(b))
+                    .unwrap_or(0.0);
+                (rate, gbps as f64 * 1e9, f64::INFINITY)
+            })
+            .collect();
+        meter.observe(t, MS, &entries);
+    }
+    let agg: f64 = vfs
+        .iter()
+        .map(|&(_, _, p, _)| {
+            rec.pair_rates
+                .get(&p.raw())
+                .map(|s| s.avg_rate(until - 5 * MS, until))
+                .unwrap_or(0.0)
+        })
+        .sum();
+    drop(rec);
+    let mut q = r.queue_samples.clone();
+    let summary_row = [
+        system.label().to_string(),
+        format!("{:.4}", meter.ratio()),
+        format!("{:.1}", q.percentile(50.0).unwrap_or(0.0) / 1e3),
+        format!("{:.1}", q.percentile(99.0).unwrap_or(0.0) / 1e3),
+        format!("{:.1}", q.max().unwrap_or(0.0) / 1e3),
+        format!("{:.2}", agg / 1e9),
+    ];
+    SystemResult {
+        rate_rows,
+        summary_row,
+        epilogue,
+        events: r.sim.stats().events,
+    }
+}
+
 /// Run all three systems and emit rates, dissatisfaction and queue CDFs.
 pub fn run(scale: Scale) -> Table {
+    run_with_stats(scale).0
+}
+
+/// Like [`run`] but also returns the total simulator events processed
+/// across the three systems (the `simbench` end-to-end metric).
+pub fn run_with_stats(scale: Scale) -> (Table, u64) {
     let stagger = if scale.quick { 5 * MS } else { 20 * MS };
     let mut rates = Table::new(["system", "t_ms", "class_gbps", "vf", "rate_gbps"]);
     let mut summary = Table::new([
@@ -70,78 +159,22 @@ pub fn run(scale: Scale) -> Table {
         "q_max_kb",
         "agg_gbps",
     ]);
-    for system in SystemKind::headline() {
-        let s = setup(stagger, scale.seed);
-        let until = s.vfs.last().unwrap().0 + 12 * stagger.max(5 * MS);
-        let vfs = s.vfs.clone();
-        let mut r = Runner::new(s.topo, s.fabric, system, scale.seed, None, MS);
-        r.watch_all_switch_queues();
-        apply_obs(&scale, &mut r);
-        let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = vfs
-            .iter()
-            .map(|&(at, src, pair, _)| (at, src, pair, 8_000_000_000, 0))
-            .collect();
-        let mut driver = BulkDriver::new(jobs, 0);
-        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
-        r.run(until, SLICE, &mut drivers);
-        obs_epilogue(&scale, &r, system.label());
-
-        // (a–c) per-VF rate series.
-        let rec = r.rec.borrow();
-        for b in 0..(until / MS) as usize {
-            for (vi, &(_, _, pair, gbps)) in vfs.iter().enumerate() {
-                let rate = rec
-                    .pair_rates
-                    .get(&pair.raw())
-                    .map(|s| s.rate_at(b))
-                    .unwrap_or(0.0);
-                rates.row([
-                    system.label().to_string(),
-                    b.to_string(),
-                    gbps.to_string(),
-                    format!("vf{vi}"),
-                    format!("{:.2}", rate / 1e9),
-                ]);
-            }
-        }
-        // (d) dissatisfaction: each VF is entitled to its guarantee from
-        // its join time (demand is unlimited).
-        let mut meter = DissatisfactionMeter::new();
-        for b in 0..(until / MS) as usize {
-            let t = b as Time * MS;
-            let entries: Vec<(f64, f64, f64)> = vfs
-                .iter()
-                .filter(|&&(at, _, _, _)| t >= at)
-                .map(|&(_, _, pair, gbps)| {
-                    let rate = rec
-                        .pair_rates
-                        .get(&pair.raw())
-                        .map(|s| s.rate_at(b))
-                        .unwrap_or(0.0);
-                    (rate, gbps as f64 * 1e9, f64::INFINITY)
-                })
-                .collect();
-            meter.observe(t, MS, &entries);
-        }
-        let agg: f64 = vfs
-            .iter()
-            .map(|&(_, _, p, _)| {
-                rec.pair_rates
-                    .get(&p.raw())
-                    .map(|s| s.avg_rate(until - 5 * MS, until))
-                    .unwrap_or(0.0)
+    let jobs: Vec<Job<SystemResult>> = SystemKind::headline()
+        .into_iter()
+        .map(|system| {
+            Job::new(format!("fig11:{}", system.label()), move || {
+                run_system(system, scale, stagger)
             })
-            .sum();
-        drop(rec);
-        let mut q = r.queue_samples.clone();
-        summary.row([
-            system.label().to_string(),
-            format!("{:.4}", meter.ratio()),
-            format!("{:.1}", q.percentile(50.0).unwrap_or(0.0) / 1e3),
-            format!("{:.1}", q.percentile(99.0).unwrap_or(0.0) / 1e3),
-            format!("{:.1}", q.max().unwrap_or(0.0) / 1e3),
-            format!("{:.2}", agg / 1e9),
-        ]);
+        })
+        .collect();
+    let mut events = 0u64;
+    for res in run_jobs(jobs) {
+        print!("{}", res.epilogue);
+        for row in res.rate_rows {
+            rates.row(row);
+        }
+        summary.row(res.summary_row);
+        events += res.events;
     }
     emit(
         "fig11_rates",
@@ -153,5 +186,5 @@ pub fn run(scale: Scale) -> Table {
         "Fig 11d-e: dissatisfaction + queue (expect uFAB lowest on both)",
         &summary,
     );
-    summary
+    (summary, events)
 }

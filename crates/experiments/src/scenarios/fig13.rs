@@ -9,6 +9,7 @@
 //! running without MongoDB.
 
 use super::common::{emit, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use netsim::{NodeId, PairId, MS};
@@ -130,28 +131,33 @@ pub fn run(scale: Scale) -> Table {
     } else {
         &[("low", 1), ("high", 4)]
     };
+    // Grid cells are independent runs: fan them out as jobs and merge
+    // rows back in submission order.
+    let mut jobs: Vec<Job<[String; 6]>> = Vec::new();
     for &(load_name, conc) in loads {
         // Ideal: Memcached alone (system = uFAB, no background).
-        let (qps, avg, p90, p99) = run_cell(SystemKind::Ufab, scale.seed, until, conc, false);
-        table.row([
-            "Ideal".to_string(),
-            load_name.to_string(),
-            format!("{qps:.0}"),
-            format!("{:.3}", avg / 1e6),
-            format!("{:.3}", p90 / 1e6),
-            format!("{:.3}", p99 / 1e6),
-        ]);
+        let mut cells: Vec<(&'static str, SystemKind, bool)> =
+            vec![("Ideal", SystemKind::Ufab, false)];
         for system in SystemKind::headline() {
-            let (qps, avg, p90, p99) = run_cell(system, scale.seed, until, conc, true);
-            table.row([
-                system.label().to_string(),
-                load_name.to_string(),
-                format!("{qps:.0}"),
-                format!("{:.3}", avg / 1e6),
-                format!("{:.3}", p90 / 1e6),
-                format!("{:.3}", p99 / 1e6),
-            ]);
+            cells.push((system.label(), system, true));
         }
+        for (label, system, with_mongo) in cells {
+            let seed = scale.seed;
+            jobs.push(Job::new(format!("fig13:{label}:{load_name}"), move || {
+                let (qps, avg, p90, p99) = run_cell(system, seed, until, conc, with_mongo);
+                [
+                    label.to_string(),
+                    load_name.to_string(),
+                    format!("{qps:.0}"),
+                    format!("{:.3}", avg / 1e6),
+                    format!("{:.3}", p90 / 1e6),
+                    format!("{:.3}", p99 / 1e6),
+                ]
+            }));
+        }
+    }
+    for row in run_jobs(jobs) {
+        table.row(row);
     }
     emit(
         "fig13_memcached",

@@ -7,6 +7,7 @@
 //! bounded by L_p/(L_p+L_m) ≈ 1.28 % at L_m = 4 KB.
 
 use super::common::{emit, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use netsim::{NodeId, PairId, PortNo, Time, MS};
@@ -128,38 +129,50 @@ pub fn run_b(scale: Scale) -> Table {
         vec![1, 10, 100, 1000, 8192]
     };
     let mut table = Table::new(["vm_pairs", "probe_overhead_pct", "bound_pct"]);
-    for &n in &pair_counts {
-        // One saturating VF split across n VM-pairs between two hosts on
-        // the same rack (minimal path length isolates the probing cost).
-        let mut topo = topology::dumbbell(1, 100, 100);
-        topo.mtu = 4096;
-        let mut fabric = FabricSpec::new(500e6);
-        let t = fabric.add_tenant("t", 190.0);
-        let mut pairs: Vec<PairId> = Vec::new();
-        for _ in 0..n {
-            let a = fabric.add_vm(t, topo.hosts[0]);
-            let b = fabric.add_vm(t, topo.hosts[1]);
-            pairs.push(fabric.add_pair(a, b));
-        }
-        let host = topo.hosts[0];
-        let mut r = Runner::new(topo, fabric, SystemKind::Ufab, scale.seed, None, MS);
-        let until = if scale.quick { 20 * MS } else { 50 * MS };
-        let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = pairs
-            .iter()
-            .map(|&p| (0, host, p, 2_000_000_000 / n as u64 + 1_000_000, 0))
-            .collect();
-        let mut driver = BulkDriver::new(jobs, 0);
-        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
-        r.run(until, SLICE, &mut drivers);
-        let overhead = r.probe_overhead() * 100.0;
-        // L_p ≈ probe+response wire bytes over one data exchange of L_m.
-        let lp = telemetry::wire::probe_packet_bytes(2, 3) as f64;
-        let bound = lp / (lp + 4096.0) * 100.0 * 2.0; // probe + response
-        table.row([
-            n.to_string(),
-            format!("{overhead:.3}"),
-            format!("{bound:.3}"),
-        ]);
+    let cells: Vec<Job<[String; 3]>> = pair_counts
+        .iter()
+        .map(|&n| {
+            let seed = scale.seed;
+            let quick = scale.quick;
+            Job::new(format!("fig15b:{n}"), move || {
+                // One saturating VF split across n VM-pairs between two
+                // hosts on the same rack (minimal path length isolates
+                // the probing cost).
+                let mut topo = topology::dumbbell(1, 100, 100);
+                topo.mtu = 4096;
+                let mut fabric = FabricSpec::new(500e6);
+                let t = fabric.add_tenant("t", 190.0);
+                let mut pairs: Vec<PairId> = Vec::new();
+                for _ in 0..n {
+                    let a = fabric.add_vm(t, topo.hosts[0]);
+                    let b = fabric.add_vm(t, topo.hosts[1]);
+                    pairs.push(fabric.add_pair(a, b));
+                }
+                let host = topo.hosts[0];
+                let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, None, MS);
+                let until = if quick { 20 * MS } else { 50 * MS };
+                let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = pairs
+                    .iter()
+                    .map(|&p| (0, host, p, 2_000_000_000 / n as u64 + 1_000_000, 0))
+                    .collect();
+                let mut driver = BulkDriver::new(jobs, 0);
+                let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+                r.run(until, SLICE, &mut drivers);
+                let overhead = r.probe_overhead() * 100.0;
+                // L_p ≈ probe+response wire bytes over one data exchange
+                // of L_m.
+                let lp = telemetry::wire::probe_packet_bytes(2, 3) as f64;
+                let bound = lp / (lp + 4096.0) * 100.0 * 2.0; // probe + response
+                [
+                    n.to_string(),
+                    format!("{overhead:.3}"),
+                    format!("{bound:.3}"),
+                ]
+            })
+        })
+        .collect();
+    for row in run_jobs(cells) {
+        table.row(row);
     }
     emit(
         "fig15b_probe_overhead",

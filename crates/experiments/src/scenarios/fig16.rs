@@ -7,6 +7,7 @@
 //! RTTs and — with the latency stage — keeps the RTT near base.
 
 use super::common::{emit, us, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use netsim::{NodeId, PairId, MS};
@@ -59,62 +60,76 @@ pub fn run(scale: Scale) -> Table {
         "rtt_max_us",
     ]);
     let mut series = Table::new(["system", "t_ms", "agg_gbps"]);
-    for system in [
+    let jobs: Vec<Job<(Vec<[String; 3]>, [String; 6])>> = [
         SystemKind::Pwc,
         SystemKind::EsClove,
         SystemKind::UfabPrime,
         SystemKind::Ufab,
-    ] {
-        // Rebuild per system (topo/fabric consumed by the runner).
-        let (topo, fabric) = rebuild(scale, n);
-        let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);
-        let mut driver = OnOffDriver::new(pairs.clone(), 4 * MS, 500e6, 0);
-        let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
-        r.run(until, SLICE, &mut drivers);
-        let rec = r.rec.borrow();
-        let agg_at = |b: usize| -> f64 {
-            pairs
-                .iter()
-                .map(|(_, p)| {
-                    rec.pair_rates
-                        .get(&p.raw())
-                        .map(|s| s.rate_at(b))
-                        .unwrap_or(0.0)
-                })
-                .sum()
-        };
-        for b in 0..(until / MS) as usize {
-            series.row([
-                system.label().to_string(),
-                b.to_string(),
-                format!("{:.2}", agg_at(b) / 1e9),
-            ]);
-        }
-        // Phases: [0,4) ms underload, [4,8) overload, … skip the first
-        // cycle as warmup.
-        let mut under = 0.0;
-        let mut over = 0.0;
-        let mut under_n = 0;
-        let mut over_n = 0;
-        for b in 8..(until / MS) as usize {
-            if (b / 4) % 2 == 0 {
-                under += agg_at(b);
-                under_n += 1;
-            } else {
-                over += agg_at(b);
-                over_n += 1;
+    ]
+    .into_iter()
+    .map(|system| {
+        let pairs = pairs.clone();
+        Job::new(format!("fig16:{}", system.label()), move || {
+            // Rebuild per system (topo/fabric consumed by the runner).
+            let (topo, fabric) = rebuild(scale, n);
+            let mut r = Runner::new(topo, fabric, system, scale.seed, None, MS);
+            let mut driver = OnOffDriver::new(pairs.clone(), 4 * MS, 500e6, 0);
+            let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+            r.run(until, SLICE, &mut drivers);
+            let rec = r.rec.borrow();
+            let agg_at = |b: usize| -> f64 {
+                pairs
+                    .iter()
+                    .map(|(_, p)| {
+                        rec.pair_rates
+                            .get(&p.raw())
+                            .map(|s| s.rate_at(b))
+                            .unwrap_or(0.0)
+                    })
+                    .sum()
+            };
+            let mut series_rows = Vec::new();
+            for b in 0..(until / MS) as usize {
+                series_rows.push([
+                    system.label().to_string(),
+                    b.to_string(),
+                    format!("{:.2}", agg_at(b) / 1e9),
+                ]);
             }
+            // Phases: [0,4) ms underload, [4,8) overload, … skip the
+            // first cycle as warmup.
+            let mut under = 0.0;
+            let mut over = 0.0;
+            let mut under_n = 0;
+            let mut over_n = 0;
+            for b in 8..(until / MS) as usize {
+                if (b / 4) % 2 == 0 {
+                    under += agg_at(b);
+                    under_n += 1;
+                } else {
+                    over += agg_at(b);
+                    over_n += 1;
+                }
+            }
+            let mut rtts = rec.rtts.clone();
+            drop(rec);
+            let summary_row = [
+                system.label().to_string(),
+                format!("{:.2}", under / under_n.max(1) as f64 / 1e9),
+                format!("{:.2}", over / over_n.max(1) as f64 / 1e9),
+                us(rtts.median().unwrap_or(f64::NAN)),
+                us(rtts.percentile(99.0).unwrap_or(f64::NAN)),
+                us(rtts.max().unwrap_or(f64::NAN)),
+            ];
+            (series_rows, summary_row)
+        })
+    })
+    .collect();
+    for (series_rows, summary_row) in run_jobs(jobs) {
+        for row in series_rows {
+            series.row(row);
         }
-        let mut rtts = rec.rtts.clone();
-        drop(rec);
-        table.row([
-            system.label().to_string(),
-            format!("{:.2}", under / under_n.max(1) as f64 / 1e9),
-            format!("{:.2}", over / over_n.max(1) as f64 / 1e9),
-            us(rtts.median().unwrap_or(f64::NAN)),
-            us(rtts.percentile(99.0).unwrap_or(f64::NAN)),
-            us(rtts.max().unwrap_or(f64::NAN)),
-        ]);
+        table.row(summary_row);
     }
     emit(
         "fig16_series",

@@ -12,6 +12,7 @@
 //! reproduces the full scale — wall-clock grows accordingly).
 
 use super::common::{emit, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use metrics::{DissatisfactionMeter, OnlineStats, Percentiles};
@@ -313,30 +314,50 @@ pub fn run(scale: Scale) -> Table {
         "slow_p99",
     ]);
     let mut bd_table = Table::new(["system", "size_bucket", "slow_avg", "slow_p99"]);
+    let heaviest = *configs.last().unwrap();
+    let mut jobs: Vec<Job<([String; 8], Vec<[String; 4]>)>> = Vec::new();
     for &(o11, load) in &configs {
         for system in SystemKind::headline() {
-            let cell = run_cell(system, servers, o11, load, duration, scale.seed);
-            table.row([
-                system.label().to_string(),
-                if o11 { "1:1" } else { "1:2" }.to_string(),
-                format!("{load}"),
-                format!("{:.2}", cell.dissat * 100.0),
-                format!("{:.1}", cell.rtt_p99 / 1e3),
-                format!("{:.2}", cell.slow_mean),
-                format!("{:.2}", cell.slow_std),
-                format!("{:.2}", cell.slow_p99),
-            ]);
-            // (d): breakdown only for the heaviest config.
-            if (o11, load) == *configs.last().unwrap() {
-                for (label, avg, p99) in &cell.breakdown {
-                    bd_table.row([
+            let seed = scale.seed;
+            jobs.push(Job::new(
+                format!(
+                    "fig17:{}:{}:{load}",
+                    system.label(),
+                    if o11 { "1:1" } else { "1:2" }
+                ),
+                move || {
+                    let cell = run_cell(system, servers, o11, load, duration, seed);
+                    let row = [
                         system.label().to_string(),
-                        label.clone(),
-                        format!("{avg:.2}"),
-                        format!("{p99:.2}"),
-                    ]);
-                }
-            }
+                        if o11 { "1:1" } else { "1:2" }.to_string(),
+                        format!("{load}"),
+                        format!("{:.2}", cell.dissat * 100.0),
+                        format!("{:.1}", cell.rtt_p99 / 1e3),
+                        format!("{:.2}", cell.slow_mean),
+                        format!("{:.2}", cell.slow_std),
+                        format!("{:.2}", cell.slow_p99),
+                    ];
+                    // (d): breakdown only for the heaviest config.
+                    let mut bd_rows = Vec::new();
+                    if (o11, load) == heaviest {
+                        for (label, avg, p99) in &cell.breakdown {
+                            bd_rows.push([
+                                system.label().to_string(),
+                                label.clone(),
+                                format!("{avg:.2}"),
+                                format!("{p99:.2}"),
+                            ]);
+                        }
+                    }
+                    (row, bd_rows)
+                },
+            ));
+        }
+    }
+    for (row, bd_rows) in run_jobs(jobs) {
+        table.row(row);
+        for bd_row in bd_rows {
+            bd_table.row(bd_row);
         }
     }
     emit(

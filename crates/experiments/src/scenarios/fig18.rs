@@ -8,6 +8,7 @@
 //! with similar convergence times.
 
 use super::common::{emit, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::{Runner, SystemKind, SLICE};
 use metrics::table::Table;
 use netsim::{Time, MS, US};
@@ -60,57 +61,58 @@ pub fn run_ab(scale: Scale) -> Table {
         "converged",
         "migrations",
     ]);
+    let mut jobs_list: Vec<Job<[String; 5]>> = Vec::new();
     for &load in &[0.5, 0.7] {
         for &n in &[2u64, 3, 4, 10] {
-            let topo = super::fig17::build_topo(servers, false);
-            let (mut fabric, wl) = super::fig17::synthesize(&topo, load, duration, scale.seed);
-            // Probe VFs: 8 extra tenants with 1 G guarantees joining
-            // mid-run with sustained demand.
-            let hosts = topo.hosts.clone();
-            let mut probe_jobs = Vec::new();
-            let mut probes = Vec::new();
-            // 8-token (4 G) probe VFs: big enough that a randomly chosen
-            // initial path is often disqualified, exercising migration.
-            for i in 0..8usize {
-                let t = fabric.add_tenant(&format!("probe{i}"), 8.0);
-                let src = hosts[(i * 7) % hosts.len()];
-                let dst = hosts[(i * 7 + hosts.len() / 2) % hosts.len()];
-                if src == dst {
-                    continue;
+            let seed = scale.seed;
+            jobs_list.push(Job::new(format!("fig18ab:{load}:{n}"), move || {
+                let topo = super::fig17::build_topo(servers, false);
+                let (mut fabric, wl) = super::fig17::synthesize(&topo, load, duration, seed);
+                // Probe VFs: 8 extra tenants with 1 G guarantees joining
+                // mid-run with sustained demand.
+                let hosts = topo.hosts.clone();
+                let mut probe_jobs = Vec::new();
+                let mut probes = Vec::new();
+                // 8-token (4 G) probe VFs: big enough that a randomly
+                // chosen initial path is often disqualified, exercising
+                // migration.
+                for i in 0..8usize {
+                    let t = fabric.add_tenant(&format!("probe{i}"), 8.0);
+                    let src = hosts[(i * 7) % hosts.len()];
+                    let dst = hosts[(i * 7 + hosts.len() / 2) % hosts.len()];
+                    if src == dst {
+                        continue;
+                    }
+                    let v0 = fabric.add_vm(t, src);
+                    let v1 = fabric.add_vm(t, dst);
+                    let p = fabric.add_pair(v0, v1);
+                    let join = duration / 3 + i as Time * MS;
+                    probe_jobs.push((join, src, p, 2_000_000_000u64, 1u32));
+                    probes.push((join, p.raw(), 4e9));
                 }
-                let v0 = fabric.add_vm(t, src);
-                let v1 = fabric.add_vm(t, dst);
-                let p = fabric.add_pair(v0, v1);
-                let join = duration / 3 + i as Time * MS;
-                probe_jobs.push((join, src, p, 2_000_000_000u64, 1u32));
-                probes.push((join, p.raw(), 4e9));
-            }
-            let cfg = UfabConfig {
-                freeze_rtts_max: n,
-                ..UfabConfig::default()
-            };
-            let mut r = Runner::new(
-                topo,
-                fabric,
-                SystemKind::Ufab,
-                scale.seed,
-                Some(cfg),
-                100 * US,
-            );
-            let mut bg = BulkDriver::new(wl.jobs.clone(), 0);
-            let mut probe_driver = BulkDriver::new(probe_jobs, 1 << 41);
-            let mut drivers: [&mut dyn Driver; 2] = [&mut bg, &mut probe_driver];
-            r.run(duration, SLICE, &mut drivers);
-            let (conv, converged) = probe_vf_convergence(&r.rec, &probes, duration, 100 * US);
-            let migrations = r.rec.borrow().path_migrations;
-            table.row([
-                format!("{load}"),
-                format!("[1,{n}]"),
-                format!("{:.0}", conv / 1e3),
-                format!("{converged}/{}", probes.len()),
-                migrations.to_string(),
-            ]);
+                let cfg = UfabConfig {
+                    freeze_rtts_max: n,
+                    ..UfabConfig::default()
+                };
+                let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, Some(cfg), 100 * US);
+                let mut bg = BulkDriver::new(wl.jobs.clone(), 0);
+                let mut probe_driver = BulkDriver::new(probe_jobs, 1 << 41);
+                let mut drivers: [&mut dyn Driver; 2] = [&mut bg, &mut probe_driver];
+                r.run(duration, SLICE, &mut drivers);
+                let (conv, converged) = probe_vf_convergence(&r.rec, &probes, duration, 100 * US);
+                let migrations = r.rec.borrow().path_migrations;
+                [
+                    format!("{load}"),
+                    format!("[1,{n}]"),
+                    format!("{:.0}", conv / 1e3),
+                    format!("{converged}/{}", probes.len()),
+                    migrations.to_string(),
+                ]
+            }));
         }
+    }
+    for row in run_jobs(jobs_list) {
+        table.row(row);
     }
     emit(
         "fig18ab_freeze",
@@ -125,61 +127,63 @@ pub fn run_c(scale: Scale) -> Table {
     let servers = scale.servers.unwrap_or(32);
     let duration = if scale.quick { 12 * MS } else { 30 * MS };
     let mut table = Table::new(["probing", "incast_agg_gbps", "conv_time_us", "rtt_p99_us"]);
-    for (name, period) in [
+    let jobs_list: Vec<Job<[String; 4]>> = [
         ("self-clocking", None),
         ("2 RTT", Some(2u64)),
         ("3 RTT", Some(3u64)),
-    ] {
-        let topo = super::fig17::build_topo(servers, false);
-        let (mut fabric, wl) = super::fig17::synthesize(&topo, 0.5, duration, scale.seed);
-        let hosts = topo.hosts.clone();
-        let dst = hosts[hosts.len() - 1];
-        let mut jobs = Vec::new();
-        let mut pairs = Vec::new();
-        let join = duration / 3;
-        for i in 0..16usize {
-            let t = fabric.add_tenant(&format!("incast{i}"), 2.0);
-            let src = hosts[i % (hosts.len() - 1)];
-            let v0 = fabric.add_vm(t, src);
-            let v1 = fabric.add_vm(t, dst);
-            let p = fabric.add_pair(v0, v1);
-            jobs.push((join, src, p, 2_000_000_000u64, 1u32));
-            pairs.push((join, p.raw(), 100e9 / 16.0 * 0.5));
-        }
-        let cfg = UfabConfig {
-            probe_period_rtts: period,
-            ..UfabConfig::default()
-        };
-        let mut r = Runner::new(
-            topo,
-            fabric,
-            SystemKind::Ufab,
-            scale.seed,
-            Some(cfg),
-            100 * US,
-        );
-        let mut bg = BulkDriver::new(wl.jobs.clone(), 0);
-        let mut incast = BulkDriver::new(jobs, 1 << 41);
-        let mut drivers: [&mut dyn Driver; 2] = [&mut bg, &mut incast];
-        r.run(duration, SLICE, &mut drivers);
-        let (conv, _) = probe_vf_convergence(&r.rec, &pairs, duration, 100 * US);
-        let rec = r.rec.borrow();
-        let agg: f64 = pairs
-            .iter()
-            .map(|&(_, p, _)| {
-                rec.pair_rates
-                    .get(&p)
-                    .map(|s| s.avg_rate(join + 2 * MS, duration))
-                    .unwrap_or(0.0)
-            })
-            .sum();
-        let mut rtts = rec.rtts.clone();
-        table.row([
-            name.to_string(),
-            format!("{:.1}", agg / 1e9),
-            format!("{:.0}", conv / 1e3),
-            format!("{:.1}", rtts.percentile(99.0).unwrap_or(f64::NAN) / 1e3),
-        ]);
+    ]
+    .into_iter()
+    .map(|(name, period)| {
+        let seed = scale.seed;
+        Job::new(format!("fig18c:{name}"), move || {
+            let topo = super::fig17::build_topo(servers, false);
+            let (mut fabric, wl) = super::fig17::synthesize(&topo, 0.5, duration, seed);
+            let hosts = topo.hosts.clone();
+            let dst = hosts[hosts.len() - 1];
+            let mut jobs = Vec::new();
+            let mut pairs = Vec::new();
+            let join = duration / 3;
+            for i in 0..16usize {
+                let t = fabric.add_tenant(&format!("incast{i}"), 2.0);
+                let src = hosts[i % (hosts.len() - 1)];
+                let v0 = fabric.add_vm(t, src);
+                let v1 = fabric.add_vm(t, dst);
+                let p = fabric.add_pair(v0, v1);
+                jobs.push((join, src, p, 2_000_000_000u64, 1u32));
+                pairs.push((join, p.raw(), 100e9 / 16.0 * 0.5));
+            }
+            let cfg = UfabConfig {
+                probe_period_rtts: period,
+                ..UfabConfig::default()
+            };
+            let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, Some(cfg), 100 * US);
+            let mut bg = BulkDriver::new(wl.jobs.clone(), 0);
+            let mut incast = BulkDriver::new(jobs, 1 << 41);
+            let mut drivers: [&mut dyn Driver; 2] = [&mut bg, &mut incast];
+            r.run(duration, SLICE, &mut drivers);
+            let (conv, _) = probe_vf_convergence(&r.rec, &pairs, duration, 100 * US);
+            let rec = r.rec.borrow();
+            let agg: f64 = pairs
+                .iter()
+                .map(|&(_, p, _)| {
+                    rec.pair_rates
+                        .get(&p)
+                        .map(|s| s.avg_rate(join + 2 * MS, duration))
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            let mut rtts = rec.rtts.clone();
+            [
+                name.to_string(),
+                format!("{:.1}", agg / 1e9),
+                format!("{:.0}", conv / 1e3),
+                format!("{:.1}", rtts.percentile(99.0).unwrap_or(f64::NAN) / 1e3),
+            ]
+        })
+    })
+    .collect();
+    for row in run_jobs(jobs_list) {
+        table.row(row);
     }
     emit(
         "fig18c_probing",

@@ -6,6 +6,7 @@
 //! rate evolution lets the aggregate burst scale with the flow count.
 
 use super::common::{emit, f, incast_on_testbed, run_incast, us, Scale};
+use crate::executor::{run_jobs, Job};
 use crate::harness::SystemKind;
 use metrics::table::Table;
 use netsim::MS;
@@ -27,28 +28,42 @@ pub fn run(scale: Scale) -> Table {
         "max_us",
         "base_rtt_us",
     ]);
+    let mut jobs: Vec<Job<(String, Option<[String; 7]>)>> = Vec::new();
     for system in [SystemKind::Pwc, SystemKind::Ufab] {
         for &n in &degrees {
-            let (topo, fabric, srcs, pairs, _dst) =
-                incast_on_testbed(n, TestbedCfg::default(), 1.0, 500e6);
-            let base = topo.max_base_rtt();
-            let until = if scale.quick { 30 * MS } else { 60 * MS };
-            let r = run_incast(
-                topo, fabric, system, &scale, &srcs, &pairs, 20_000_000, MS, until,
-            );
-            let mut rtts = r.rec.borrow_mut().rtts.clone();
-            if rtts.is_empty() {
-                continue;
-            }
-            table.row([
-                system.label().to_string(),
-                n.to_string(),
-                us(rtts.median().unwrap()),
-                us(rtts.percentile(99.0).unwrap()),
-                us(rtts.percentile(99.9).unwrap()),
-                us(rtts.max().unwrap()),
-                us(base as f64),
-            ]);
+            jobs.push(Job::new(
+                format!("fig4:{}:{n}", system.label()),
+                move || {
+                    let (topo, fabric, srcs, pairs, _dst) =
+                        incast_on_testbed(n, TestbedCfg::default(), 1.0, 500e6);
+                    let base = topo.max_base_rtt();
+                    let until = if scale.quick { 30 * MS } else { 60 * MS };
+                    let (r, epilogue) = run_incast(
+                        topo, fabric, system, &scale, &srcs, &pairs, 20_000_000, MS, until,
+                    );
+                    let mut rtts = r.rec.borrow_mut().rtts.clone();
+                    let row = if rtts.is_empty() {
+                        None
+                    } else {
+                        Some([
+                            system.label().to_string(),
+                            n.to_string(),
+                            us(rtts.median().unwrap()),
+                            us(rtts.percentile(99.0).unwrap()),
+                            us(rtts.percentile(99.9).unwrap()),
+                            us(rtts.max().unwrap()),
+                            us(base as f64),
+                        ])
+                    };
+                    (epilogue, row)
+                },
+            ));
+        }
+    }
+    for (epilogue, row) in run_jobs(jobs) {
+        print!("{epilogue}");
+        if let Some(row) = row {
+            table.row(row);
         }
     }
     emit("fig4_incast_rtt", "Fig 4: RTT vs incast degree", &table);

@@ -34,10 +34,8 @@ fn quickstart_digest(seed: u64) -> u64 {
     let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, None, MS);
     r.enable_trace(1024);
     r.sim.start();
-    r.sim
-        .inject(h0, Box::new(AppMsg::oneway(1, pa, 100_000_000, 0)));
-    r.sim
-        .inject(h1, Box::new(AppMsg::oneway(2, pb, 100_000_000, 0)));
+    r.sim.inject(h0, AppMsg::oneway(1, pa, 100_000_000, 0));
+    r.sim.inject(h1, AppMsg::oneway(2, pb, 100_000_000, 0));
     r.sim.run_until(3 * MS);
     r.sim.det_digest().expect("enable_trace starts the digest")
 }

@@ -1,0 +1,101 @@
+//! Regression: the parallel executor's merged output is identical to the
+//! serial run's — same determinism digests, same row order, same CSV
+//! bytes — for any worker count. This is the invariant that makes
+//! `repro all --jobs N` reproducible for every N.
+//!
+//! The workload is the short traced incast from the determinism suite
+//! (cheap enough for debug-mode CI) run through the same `Job` machinery
+//! the fig11/fig12/… scenarios use.
+
+use experiments::executor::{self, run_jobs, Job};
+use experiments::harness::{Runner, SystemKind, SLICE};
+use experiments::scenarios::common::incast_on_testbed;
+use metrics::table::Table;
+use netsim::{NodeId, PairId, Time, MS};
+use std::sync::Mutex;
+use topology::TestbedCfg;
+use workloads::driver::Driver;
+use workloads::patterns::BulkDriver;
+
+/// Serializes tests in this file: the executor's worker count is global.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A short traced 4-to-1 incast; returns (digest, events, rate row).
+fn incast_run(system: SystemKind, seed: u64) -> (u64, u64, [String; 3]) {
+    let (topo, fabric, srcs, pairs, _dst) = incast_on_testbed(4, TestbedCfg::default(), 1.0, 500e6);
+    let mut r = Runner::new(topo, fabric, system, seed, None, MS);
+    r.enable_trace(1024);
+    let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
+        .iter()
+        .zip(&pairs)
+        .map(|(&s, &p)| (MS, s, p, 2_000_000, 0))
+        .collect();
+    let mut driver = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+    r.run(8 * MS, SLICE, &mut drivers);
+    let digest = r.sim.det_digest().expect("trace enabled");
+    let events = r.sim.stats().events;
+    let agg: f64 = pairs.iter().map(|&p| r.pair_rate(p, 2 * MS, 8 * MS)).sum();
+    let row = [
+        system.label().to_string(),
+        seed.to_string(),
+        format!("{:.3}", agg / 1e9),
+    ];
+    (digest, events, row)
+}
+
+/// The full scenario-shaped pipeline at a given worker count: fan out
+/// jobs, merge in submission order, render the table like `emit` does.
+fn run_at(workers: usize) -> (Vec<u64>, Vec<u64>, String) {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    executor::set_jobs(workers);
+    let mut jobs = Vec::new();
+    for system in [SystemKind::Ufab, SystemKind::Pwc, SystemKind::EsClove] {
+        for seed in [1u64, 2] {
+            jobs.push(Job::new(format!("{}:{seed}", system.label()), move || {
+                incast_run(system, seed)
+            }));
+        }
+    }
+    let mut table = Table::new(["system", "seed", "agg_gbps"]);
+    let mut digests = Vec::new();
+    let mut events = Vec::new();
+    for (digest, ev, row) in run_jobs(jobs) {
+        digests.push(digest);
+        events.push(ev);
+        table.row(row);
+    }
+    (digests, events, table.render())
+}
+
+#[test]
+fn parallel_output_equals_serial() {
+    let (d1, e1, csv1) = run_at(1);
+    let (d4, e4, csv4) = run_at(4);
+    assert_eq!(
+        d1, d4,
+        "determinism digests differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(e1, e4, "event counts differ between jobs=1 and jobs=4");
+    assert_eq!(csv1, csv4, "rendered table bytes differ");
+    // And the merge preserved submission order: 3 systems × 2 seeds.
+    assert_eq!(d1.len(), 6);
+}
+
+#[test]
+fn merge_order_is_submission_order_under_contention() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    executor::set_jobs(4);
+    // Jobs finish in scrambled order (later submissions are cheaper);
+    // results must still come back in submission order.
+    let jobs: Vec<Job<usize>> = (0..16)
+        .map(|i| {
+            Job::new(format!("j{i}"), move || {
+                std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+                i
+            })
+        })
+        .collect();
+    let got = run_jobs(jobs);
+    assert_eq!(got, (0..16).collect::<Vec<_>>());
+}

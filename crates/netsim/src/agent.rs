@@ -1,6 +1,7 @@
 //! Agent traits: the plug points for transports and switch dataplanes.
 
 use crate::ids::{NodeId, PortNo};
+use crate::msg::Inject;
 use crate::packet::Packet;
 use crate::time::Time;
 use rand::rngs::SmallRng;
@@ -24,7 +25,11 @@ pub struct NicView {
 /// Deferred side effects an agent produces while handling an event.
 #[derive(Debug, Default)]
 pub struct Effects {
-    pub(crate) sends: Vec<Packet>,
+    // Boxed on purpose: a sent packet moves by pointer through the
+    // forward path into port queues and event-queue entries, which keeps
+    // those entries pointer-sized and avoids a re-box at every hop.
+    #[allow(clippy::vec_box)]
+    pub(crate) sends: Vec<Box<Packet>>,
     pub(crate) timers: Vec<(Time, u64)>,
 }
 
@@ -35,13 +40,14 @@ impl Effects {
         Self::default()
     }
 
-    /// Packets emitted so far.
-    pub fn sends(&self) -> &[Packet] {
+    /// Packets emitted so far (boxed: the simulator moves packets by
+    /// pointer from the moment they are sent).
+    pub fn sends(&self) -> &[Box<Packet>] {
         &self.sends
     }
 
     /// Take the emitted packets.
-    pub fn take_sends(&mut self) -> Vec<Packet> {
+    pub fn take_sends(&mut self) -> Vec<Box<Packet>> {
         std::mem::take(&mut self.sends)
     }
 
@@ -73,7 +79,7 @@ impl EdgeCtx<'_> {
     /// Emit a packet. `pkt.route` must name this host's egress port at
     /// index `pkt.hop` (hosts have a single NIC: `PortNo(0)`).
     pub fn send(&mut self, pkt: Packet) {
-        self.effects.sends.push(pkt);
+        self.effects.sends.push(Box::new(pkt));
     }
 
     /// Schedule `on_timer(kind)` at absolute time `at` (clamped to now).
@@ -123,8 +129,8 @@ pub trait EdgeAgent: Any {
     /// The NIC finished serializing a packet (pull-scheduling hook).
     fn on_nic_idle(&mut self, _ctx: &mut EdgeCtx) {}
 
-    /// A workload driver injected an opaque message (e.g. an `AppMsg`).
-    fn on_inject(&mut self, _ctx: &mut EdgeCtx, _data: Box<dyn Any>) {}
+    /// A workload driver injected a message (e.g. an `AppMsg`).
+    fn on_inject(&mut self, _ctx: &mut EdgeCtx, _msg: Inject) {}
 
     /// Downcast support for experiment introspection.
     fn as_any(&self) -> &dyn Any;

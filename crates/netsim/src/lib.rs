@@ -34,17 +34,23 @@
 
 pub mod agent;
 pub mod builder;
+pub mod equeue;
 pub mod ids;
+pub mod msg;
 pub mod packet;
 pub mod port;
+pub mod route;
 pub mod sim;
 pub mod time;
 
 pub use agent::{EdgeAgent, EdgeCtx, NicView, PortView, SwitchAgent, SwitchCtx};
 pub use builder::{LinkSpec, NetworkBuilder};
+pub use equeue::EventQueue;
 pub use ids::{FlowId, NodeId, PairId, PortNo, TenantId, VmId};
+pub use msg::{AppMsg, Inject};
 pub use packet::{AckInfo, DataInfo, Packet, PacketKind};
 pub use port::{Port, PortStats};
+pub use route::{Route, MAX_INLINE_HOPS};
 pub use sim::Simulator;
 pub use time::{Time, MS, SEC, US};
 

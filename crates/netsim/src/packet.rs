@@ -1,6 +1,7 @@
 //! Packets and their payloads.
 
-use crate::ids::{FlowId, NodeId, PairId, PortNo, TenantId};
+use crate::ids::{FlowId, NodeId, PairId, TenantId};
+use crate::route::Route;
 use crate::time::Time;
 use telemetry::{FinishFrame, ProbeFrame};
 
@@ -116,7 +117,9 @@ pub struct Packet {
     pub kind: PacketKind,
     /// Source route: egress port to take at each node, starting with the
     /// sending host. Empty route falls back to per-node ECMP tables.
-    pub route: Vec<PortNo>,
+    /// Stored inline for ≤ [`crate::MAX_INLINE_HOPS`] hops (no per-packet
+    /// allocation on FatTree-depth paths).
+    pub route: Route,
     /// Next index into `route` to consume.
     pub hop: usize,
     /// Congestion-experienced mark (set by queues above ECN threshold).
@@ -151,6 +154,7 @@ pub const NO_PAIR: PairId = PairId(u32::MAX);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::PortNo;
 
     fn mk(kind: PacketKind) -> Packet {
         Packet {
@@ -160,7 +164,7 @@ mod tests {
             tenant: TenantId(0),
             size: 100,
             kind,
-            route: vec![PortNo(0), PortNo(2)],
+            route: [PortNo(0), PortNo(2)].into(),
             hop: 0,
             ecn: false,
             max_util: 0.0,

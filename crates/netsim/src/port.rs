@@ -46,8 +46,9 @@ pub struct Port {
     pub up: bool,
     /// Currently serializing a packet.
     pub busy: bool,
-    /// The queue.
-    pub queue: VecDeque<Packet>,
+    /// The queue (boxed: packets move through the simulator by
+    /// pointer, not by value — see `sim.rs`).
+    pub queue: VecDeque<Box<Packet>>,
     /// Bytes currently queued.
     pub q_bytes: u64,
     /// TX rate estimator (`tx_l`).
@@ -103,7 +104,7 @@ impl Port {
     }
 
     /// Attempt to enqueue `pkt`. Applies drop-tail and ECN marking.
-    pub fn enqueue(&mut self, mut pkt: Packet) -> EnqueueResult {
+    pub fn enqueue(&mut self, mut pkt: Box<Packet>) -> EnqueueResult {
         if !self.up {
             self.stats.drops_down += 1;
             return EnqueueResult::DroppedDown;
@@ -126,7 +127,7 @@ impl Port {
     }
 
     /// Pop the head-of-line packet for transmission, updating byte counts.
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self) -> Option<Box<Packet>> {
         let pkt = self.queue.pop_front()?;
         self.q_bytes -= pkt.size as u64;
         Some(pkt)
@@ -143,9 +144,10 @@ mod tests {
     use super::*;
     use crate::ids::{FlowId, PairId, TenantId};
     use crate::packet::{DataInfo, PacketKind};
+    use crate::route::Route;
 
-    fn pkt(size: u32) -> Packet {
-        Packet {
+    fn pkt(size: u32) -> Box<Packet> {
+        Box::new(Packet {
             src: NodeId(0),
             dst: NodeId(1),
             pair: PairId(0),
@@ -161,12 +163,12 @@ mod tests {
                 flow_start: 0,
                 reply_bytes: 0,
             }),
-            route: vec![],
+            route: Route::new(),
             hop: 0,
             ecn: false,
             max_util: 0.0,
             sent_at: 0,
-        }
+        })
     }
 
     fn port(buf: u64, ecn: Option<u64>) -> Port {

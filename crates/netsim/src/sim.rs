@@ -2,53 +2,27 @@
 
 use crate::agent::{EdgeAgent, EdgeCtx, Effects, NicView, PortView, SwitchAgent, SwitchCtx};
 use crate::builder::{Network, Node, NodeKind};
+use crate::equeue::EventQueue;
 use crate::ids::{NodeId, PortNo};
+use crate::msg::Inject;
 use crate::packet::{Packet, PacketKind};
 use crate::port::EnqueueResult;
+use crate::route::Route;
 use crate::time::{tx_time, Time};
 use obs::{Category, DetHash, Event as ObsEvent, ObsHandle};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
+// Packets and injects are boxed so an event entry stays small (the
+// calendar queue and port queues move entries by value; a flat `Packet`
+// would make every such move a ~200-byte memmove).
 enum EvKind {
-    Arrive(Packet),
+    Arrive(Box<Packet>),
     TxDone(PortNo),
     EdgeTimer(u64),
     SwitchTimer(u64),
-    Inject(Box<dyn Any>),
+    Inject(Box<Inject>),
     LinkSet(PortNo, bool),
-}
-
-struct Event {
-    time: Time,
-    seq: u64,
-    node: NodeId,
-    kind: EvKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first with
-    // insertion order breaking ties (determinism).
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// Global drop counters across all ports.
@@ -76,11 +50,11 @@ pub struct GlobalStats {
     pub host_bytes_tx: u64,
 }
 
-/// The simulator: event heap + network + agents.
+/// The simulator: event queue + network + agents.
 pub struct Simulator {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue<(NodeId, EvKind)>,
     nodes: Vec<Node>,
     edge: Vec<Option<Box<dyn EdgeAgent>>>,
     switch: Vec<Option<Box<dyn SwitchAgent>>>,
@@ -108,7 +82,7 @@ impl Simulator {
         Self {
             now: 0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(),
             nodes: net.nodes,
             edge: (0..n).map(|_| None).collect(),
             switch: (0..n).map(|_| None).collect(),
@@ -282,10 +256,11 @@ impl Simulator {
             .expect("switch agent type mismatch")
     }
 
-    /// Deliver an opaque value to a host's edge agent at the current time
-    /// (ordered with in-flight events).
-    pub fn inject(&mut self, node: NodeId, data: Box<dyn Any>) {
-        self.push(self.now, node, EvKind::Inject(data));
+    /// Deliver a message to a host's edge agent at the current time
+    /// (ordered with in-flight events). Anything convertible into
+    /// [`Inject`] works; today that is [`crate::AppMsg`].
+    pub fn inject(&mut self, node: NodeId, msg: impl Into<Inject>) {
+        self.push(self.now, node, EvKind::Inject(Box::new(msg.into())));
     }
 
     /// Schedule a link state change (fault injection): the channel *from*
@@ -305,12 +280,7 @@ impl Simulator {
     fn push(&mut self, time: Time, node: NodeId, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event {
-            time,
-            seq,
-            node,
-            kind,
-        });
+        self.queue.push(time, seq, (node, kind));
     }
 
     /// Invoke `on_start` on every installed agent. Idempotent.
@@ -335,8 +305,8 @@ impl Simulator {
     /// Process events until `t` (inclusive); leaves `now == t`.
     pub fn run_until(&mut self, t: Time) {
         self.start();
-        while let Some(ev) = self.heap.peek() {
-            if ev.time > t {
+        while let Some(time) = self.queue.peek_time() {
+            if time > t {
                 break;
             }
             self.step_one();
@@ -356,45 +326,44 @@ impl Simulator {
     }
 
     fn step_one(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else {
+        let Some((time, _seq, (node, kind))) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.stats.events += 1;
-        let node = ev.node;
         if let Some(det) = &mut self.det {
             // Fold (kind, time, node, payload discriminant) — enough to
             // distinguish any divergent schedule; seq is implied by fold
             // order.
-            let (code, aux) = match &ev.kind {
+            let (code, aux) = match &kind {
                 EvKind::Arrive(p) => (1u64, ((p.pair.raw() as u64) << 32) | p.size as u64),
                 EvKind::TxDone(p) => (2, p.raw() as u64),
                 EvKind::EdgeTimer(k) => (3, *k),
                 EvKind::SwitchTimer(k) => (4, *k),
-                EvKind::Inject(_) => (5, 0),
+                EvKind::Inject(m) => (5, m.det_aux()),
                 EvKind::LinkSet(p, up) => (6, ((p.raw() as u64) << 1) | *up as u64),
             };
             det.fold_u64(code << 56 | (node.raw() as u64));
-            det.fold_u64(ev.time);
+            det.fold_u64(time);
             det.fold_u64(aux);
         }
-        match ev.kind {
+        match kind {
             EvKind::Arrive(pkt) => self.on_arrive(node, pkt),
             EvKind::TxDone(p) => self.on_txdone(node, p),
             EvKind::EdgeTimer(k) => self.with_edge(node, |a, ctx| a.on_timer(ctx, k)),
             EvKind::SwitchTimer(k) => self.with_switch_timer_ctx(node, |a, ctx| a.on_timer(ctx, k)),
-            EvKind::Inject(d) => self.with_edge(node, |a, ctx| a.on_inject(ctx, d)),
+            EvKind::Inject(m) => self.with_edge(node, |a, ctx| a.on_inject(ctx, *m)),
             EvKind::LinkSet(p, up) => self.on_link_set(node, p, up),
         }
         true
     }
 
-    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+    fn on_arrive(&mut self, node: NodeId, pkt: Box<Packet>) {
         match self.nodes[node.idx()].kind {
             NodeKind::Host => {
                 debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
-                self.with_edge(node, |a, ctx| a.on_packet(ctx, pkt));
+                self.with_edge(node, |a, ctx| a.on_packet(ctx, *pkt));
             }
             NodeKind::Switch => self.forward(node, pkt),
         }
@@ -402,7 +371,7 @@ impl Simulator {
 
     /// Route-and-enqueue at `node` (used for switch forwarding and host
     /// originated sends alike).
-    fn forward(&mut self, node: NodeId, mut pkt: Packet) {
+    fn forward(&mut self, node: NodeId, mut pkt: Box<Packet>) {
         let egress = if pkt.hop < pkt.route.len() {
             pkt.route[pkt.hop]
         } else {
@@ -446,13 +415,13 @@ impl Simulator {
                 });
                 let src = pkt.src;
                 let delay: Time = 2_000u64.saturating_mul(frame.hops.len().max(1) as u64);
-                let notify = Packet {
+                let notify = Box::new(Packet {
                     dst: src,
                     kind: PacketKind::Probe(frame).into_failure(),
-                    route: Vec::new(),
+                    route: Route::new(),
                     hop: 0,
-                    ..pkt
-                };
+                    ..*pkt
+                });
                 self.push(self.now + delay, src, EvKind::Arrive(notify));
                 return;
             }
@@ -717,7 +686,7 @@ mod tests {
                         flow_start: 0,
                         reply_bytes: 0,
                     }),
-                    route: self.route.clone(),
+                    route: self.route.clone().into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -784,7 +753,7 @@ mod tests {
                         grant_bps: 0.0,
                         payload: d.payload,
                     }),
-                    route: self.route_back.clone(),
+                    route: self.route_back.clone().into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -989,7 +958,7 @@ mod tests {
                             flow_start: 0,
                             reply_bytes: 0,
                         }),
-                        route: vec![PortNo(0)], // only the host hop; rest ECMP
+                        route: [PortNo(0)].into(), // only the host hop; rest ECMP
                         hop: 0,
                         ecn: false,
                         max_util: 0.0,
@@ -1048,7 +1017,7 @@ mod tests {
                     tenant: TenantId(0),
                     size: 90,
                     kind: PacketKind::Probe(ProbeFrame::probe(0, 0, 1.0, 0.0, ctx.now)),
-                    route: vec![PortNo(0), PortNo(1)],
+                    route: [PortNo(0), PortNo(1)].into(),
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,

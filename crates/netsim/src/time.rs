@@ -14,8 +14,14 @@ pub const SEC: Time = 1_000_000_000;
 /// rounded up to the next nanosecond (never zero for a non-empty packet).
 pub fn tx_time(bytes: u32, cap_bps: u64) -> Time {
     debug_assert!(cap_bps > 0, "zero-capacity link");
-    let bits = bytes as u128 * 8;
-    ((bits * 1_000_000_000 + cap_bps as u128 - 1) / cap_bps as u128) as Time
+    let bits = bytes as u64 * 8;
+    // u64 fast path (no 128-bit division on the per-packet path): safe
+    // whenever bits * 1e9 cannot overflow, i.e. for packets < ~2.3 GB.
+    if bits <= u64::MAX / 1_000_000_000 {
+        (bits * 1_000_000_000 + cap_bps - 1) / cap_bps
+    } else {
+        ((bits as u128 * 1_000_000_000 + cap_bps as u128 - 1) / cap_bps as u128) as Time
+    }
 }
 
 /// Bandwidth-delay product in bytes for a link/path of `cap_bps` and

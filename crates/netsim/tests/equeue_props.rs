@@ -1,0 +1,134 @@
+//! Property tests for the calendar event queue: model-checked against a
+//! plain sorted order over `(time, seq)`.
+//!
+//! The queue's contract (relied on by the simulator's determinism
+//! digest): pops come out earliest-time first, ties broken FIFO by
+//! sequence number, across all three storage tiers (active-bucket heap,
+//! calendar ring, far-future heap) and any interleaving of pushes and
+//! pops.
+
+use netsim::{EventQueue, Time};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Time offsets spanning all tiers: same-bucket (< 512 ns), in-ring
+/// (< ~1 ms horizon), and far-future (multi-ms). The vendored proptest
+/// has no `prop_oneof`, so the tier is itself a sampled value.
+fn offset() -> impl Strategy<Value = u64> {
+    (0u8..3, 0u64..19_000_000).prop_map(|(tier, v)| match tier {
+        0 => v % 512,
+        1 => v % 1_000_000,
+        _ => 1_000_000 + v,
+    })
+}
+
+proptest! {
+    /// Push everything, then drain: output is sorted by (time, seq).
+    #[test]
+    fn drains_in_time_seq_order(times in prop::collection::vec(offset(), 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(t as Time, seq as u64, seq);
+        }
+        let mut prev: Option<(Time, u64)> = None;
+        let mut n = 0;
+        while let Some((t, seq, item)) = q.pop() {
+            prop_assert_eq!(seq, item as u64);
+            if let Some((pt, ps)) = prev {
+                prop_assert!((pt, ps) < (t, seq), "out of order: ({pt},{ps}) then ({t},{seq})");
+            }
+            prev = Some((t, seq));
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Interleaved pushes and pops match a reference binary heap exactly,
+    /// including pushes that land behind the current active bucket after
+    /// the queue has fast-forwarded.
+    #[test]
+    fn matches_reference_heap(ops in prop::collection::vec(
+        (0u8..4, offset()).prop_map(|(k, dt)| (k != 3).then_some(dt)), 1..300))
+    {
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut clock: Time = 0;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Some(dt) => {
+                    // Schedule relative to the last pop, as the simulator
+                    // does; the queue itself accepts any time.
+                    let t = clock + dt as Time;
+                    q.push(t, seq, seq);
+                    model.push(Reverse((t, seq)));
+                    seq += 1;
+                }
+                None => {
+                    let got = q.pop().map(|(t, s, _)| (t, s));
+                    let want = model.pop().map(|Reverse(p)| p);
+                    prop_assert_eq!(got, want);
+                    if let Some((t, _)) = got {
+                        clock = t;
+                    }
+                }
+            }
+        }
+        // Drain the remainder.
+        loop {
+            let got = q.pop().map(|(t, s, _)| (t, s));
+            let want = model.pop().map(|Reverse(p)| p);
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// peek_time always reports the time the next pop returns.
+    #[test]
+    fn peek_agrees_with_pop(times in prop::collection::vec(offset(), 1..100)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(t as Time, seq as u64, ());
+        }
+        while let Some(pt) = q.peek_time() {
+            let (t, _, _) = q.pop().expect("peek implies non-empty");
+            prop_assert_eq!(pt, t);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}
+
+/// Bucket rollover at exact multiples of the ring horizon: times that
+/// alias to the same bucket index on different laps must not be mixed.
+#[test]
+fn ring_lap_aliasing() {
+    let mut q = EventQueue::new();
+    // Same bucket index, three different laps, pushed in reverse order.
+    let lap = 512 * 2048 as Time; // width × buckets
+    q.push(2 * lap + 7, 0, "lap2");
+    q.push(lap + 7, 1, "lap1");
+    q.push(7, 2, "lap0");
+    assert_eq!(q.pop().map(|(_, _, v)| v), Some("lap0"));
+    assert_eq!(q.pop().map(|(_, _, v)| v), Some("lap1"));
+    assert_eq!(q.pop().map(|(_, _, v)| v), Some("lap2"));
+    assert!(q.pop().is_none());
+}
+
+/// FIFO tie-break survives crossing from the far heap into the ring.
+#[test]
+fn far_future_ties_stay_fifo() {
+    let mut q = EventQueue::new();
+    let t = 50_000_000 as Time; // far beyond the ring horizon
+    for seq in 0..100u64 {
+        q.push(t, seq, seq);
+    }
+    for want in 0..100u64 {
+        let (pt, seq, item) = q.pop().expect("items remain");
+        assert_eq!(pt, t);
+        assert_eq!(seq, want);
+        assert_eq!(item, want);
+    }
+}

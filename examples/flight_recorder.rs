@@ -47,10 +47,8 @@ fn main() {
     );
 
     r.sim.start();
-    r.sim
-        .inject(h0, Box::new(AppMsg::oneway(1, pa, 50_000_000, 0)));
-    r.sim
-        .inject(h1, Box::new(AppMsg::oneway(2, pb, 50_000_000, 0)));
+    r.sim.inject(h0, AppMsg::oneway(1, pa, 50_000_000, 0));
+    r.sim.inject(h1, AppMsg::oneway(2, pb, 50_000_000, 0));
     r.sim.run_until(2 * MS);
 
     let rec = r.obs.recorder().expect("tracing enabled");

@@ -61,14 +61,8 @@ fn main() {
 
     // 4. Both tenants offer unlimited demand from t = 0.
     sim.start();
-    sim.inject(
-        hosts[0],
-        Box::new(AppMsg::oneway(1, pair_a, 500_000_000, 0)),
-    );
-    sim.inject(
-        hosts[1],
-        Box::new(AppMsg::oneway(2, pair_b, 500_000_000, 0)),
-    );
+    sim.inject(hosts[0], AppMsg::oneway(1, pair_a, 500_000_000, 0));
+    sim.inject(hosts[1], AppMsg::oneway(2, pair_b, 500_000_000, 0));
 
     // 5. Watch the allocation converge.
     println!("time_ms  tenant-a_gbps  tenant-b_gbps   (guarantees 1 : 4)");

@@ -182,10 +182,8 @@ fn rpc_roundtrip_all_systems() {
         let client_host = topo.hosts[0];
         let mut r = Runner::new(topo, fabric, system, 5, None, MS);
         r.sim.start();
-        r.sim.inject(
-            client_host,
-            Box::new(AppMsg::request(7, req, 200, 100_000, 42)),
-        );
+        r.sim
+            .inject(client_host, AppMsg::request(7, req, 200, 100_000, 42));
         r.sim.run_until(20 * MS);
         let rec = r.rec.borrow();
         let reply = rec
