@@ -16,7 +16,7 @@
 //! but the numbers are not meant to be compared.
 
 use bench::report::{git_rev, write_json, BenchRecord};
-use bench::scenario::run_testbed_permutation;
+use bench::scenario::{run_testbed_permutation, run_testbed_permutation_chaos_idle};
 use experiments::executor;
 use experiments::scenarios::common::Scale;
 use experiments::scenarios::fig11;
@@ -72,6 +72,35 @@ fn main() {
         bench: "testbed_permutation".to_string(),
         events_per_sec: events as f64 / (best_ms / 1e3),
         wall_ms: best_ms,
+        jobs: 1,
+        git_rev: rev.clone(),
+    });
+
+    // (1b) The same workload with the chaos engine armed but idle — the
+    // overhead fault-injection support adds to the hot path when no
+    // fault fires (should be ≈0; the event count must be *identical*,
+    // since an empty plan must not perturb the simulation).
+    let mut chaos_ms = f64::INFINITY;
+    let mut chaos_events = 0u64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        chaos_events = run_testbed_permutation_chaos_idle(1, until);
+        chaos_ms = chaos_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(
+        chaos_events, events,
+        "an idle chaos engine must not change the simulation"
+    );
+    eprintln!(
+        "[simbench] testbed_permutation_chaos_idle: {chaos_events} events in \
+         {chaos_ms:.0} ms ({:.0} events/sec, {:+.1}% vs disabled)",
+        chaos_events as f64 / (chaos_ms / 1e3),
+        (chaos_ms - best_ms) / best_ms * 100.0
+    );
+    records.push(BenchRecord {
+        bench: "testbed_permutation_chaos_idle".to_string(),
+        events_per_sec: chaos_events as f64 / (chaos_ms / 1e3),
+        wall_ms: chaos_ms,
         jobs: 1,
         git_rev: rev.clone(),
     });

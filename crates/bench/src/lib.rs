@@ -48,6 +48,20 @@ pub mod scenario {
     /// demand) until `until`, returning the number of simulator events
     /// processed. This is the single-run hot-path benchmark workload.
     pub fn run_testbed_permutation(seed: u64, until: Time) -> u64 {
+        run_testbed_permutation_inner(seed, until, false)
+    }
+
+    /// The same workload with the chaos engine *armed but idle*: an empty
+    /// [`netsim::FaultPlan`] is applied, so every transmitted packet takes
+    /// the runtime's lookup branch without any fault ever firing. The
+    /// wall-clock delta against [`run_testbed_permutation`] is the cost
+    /// chaos support adds to the fig11 hot path (should be ≈0; with no
+    /// plan applied at all the cost is one `Option` test per send).
+    pub fn run_testbed_permutation_chaos_idle(seed: u64, until: Time) -> u64 {
+        run_testbed_permutation_inner(seed, until, true)
+    }
+
+    fn run_testbed_permutation_inner(seed: u64, until: Time, arm_chaos: bool) -> u64 {
         let topo = topology::testbed(TestbedCfg::default());
         let mut fabric = FabricSpec::new(500e6);
         let classes = [(1u64, 2.0), (2, 4.0), (5, 10.0)];
@@ -66,6 +80,9 @@ pub mod scenario {
             }
         }
         let mut r = Runner::new(topo, fabric, SystemKind::Ufab, seed, None, MS);
+        if arm_chaos {
+            r.sim.apply_chaos(&netsim::FaultPlan::new(seed));
+        }
         let mut driver = BulkDriver::new(jobs, 0);
         let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
         r.run(until, SLICE, &mut drivers);

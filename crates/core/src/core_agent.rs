@@ -79,6 +79,16 @@ impl PortSummary {
             .values()
             .fold((0.0, 0.0), |(p, w), pr| (p + pr.phi, w + pr.w))
     }
+
+    /// Registrations not refreshed since `cutoff`. The idle sweep
+    /// (§4.2) must reclaim these; the `StaleRegistrationSweep`
+    /// invariant uses this to bound leak lifetime under faults.
+    pub fn stale_pairs(&self, cutoff: Time) -> usize {
+        self.pairs
+            .values()
+            .filter(|pr| pr.last_seen < cutoff)
+            .count()
+    }
 }
 
 /// Counters exported for tests and the resource accounting harness.
@@ -94,6 +104,8 @@ pub struct CoreStats {
     pub finishes: u64,
     /// Pairs swept by the idle cleanup.
     pub swept: u64,
+    /// Full state wipes (chaos switch reboot).
+    pub wipes: u64,
 }
 
 /// The μFAB-C switch agent.
@@ -355,6 +367,18 @@ impl SwitchAgent for UfabCore {
             }
         }
         ctx.set_timer(self.cleanup_period, CLEANUP_TIMER);
+    }
+
+    fn on_reset(&mut self, _ctx: &mut SwitchCtx) {
+        // Switch reboot: registers, Bloom filters and the shadow map
+        // are one memory — they vanish together, so the §3.6
+        // conservation invariant holds across the wipe (0 == Σ∅).
+        // Edges re-register through normal probing; registrations the
+        // dead switch still "owes" other paths are reclaimed by their
+        // own idle sweeps. The cleanup timer armed at start keeps
+        // firing — a reboot does not disable garbage collection.
+        self.ports.clear();
+        self.stats.wipes += 1;
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -155,6 +155,10 @@ pub struct EdgeStats {
     pub probe_timeouts: u64,
     /// Finish probes sent.
     pub finishes: u64,
+    /// Agent restarts (fault injection): volatile control state rebuilt.
+    pub restarts: u64,
+    /// Responses discarded because their INT stamps failed sanity checks.
+    pub corrupt_responses: u64,
 }
 
 /// The μFAB-E edge agent.
@@ -543,6 +547,27 @@ impl UfabEdge {
         }
     }
 
+    /// Bounds check on INT stamps before they are allowed to drive rate
+    /// control. A bit-flipped register read (chaos `IntCorrupt`, or a real
+    /// ASIC mis-read) can put NaN/∞/absurd magnitudes into a hop; Eqn 3
+    /// would then collapse or explode the window. Out-of-band values are
+    /// rejected wholesale — small in-band perturbations are left to the
+    /// per-hop smoothing, which absorbs them like meter noise.
+    fn hops_sane(hops: &[telemetry::HopInfo]) -> bool {
+        hops.iter().all(|h| {
+            h.phi_total.is_finite()
+                && (0.0..1e9).contains(&h.phi_total)
+                && h.w_total.is_finite()
+                && (0.0..1e15).contains(&h.w_total)
+                && h.tx_bps.is_finite()
+                && h.tx_bps >= 0.0
+                && h.cap_bps > 0
+                && h.cap_bps < 1_000_000_000_000_000
+                && h.tx_bps <= 16.0 * h.cap_bps as f64
+                && h.q_bytes < (1 << 40)
+        })
+    }
+
     fn handle_response(&mut self, ctx: &mut EdgeCtx, frame: ProbeFrame) {
         let pair = PairId(frame.pair);
         let Some(pc) = self.pairs.get_mut(&pair) else {
@@ -568,6 +593,13 @@ impl UfabEdge {
         } else {
             return; // stale / duplicate
         };
+        // Corrupt telemetry never reaches rate control (the srtt update
+        // above is kept: probe *timing* is genuine even when stamps are
+        // not). The next self-clocked probe re-samples the path.
+        if frame.kind != telemetry::ProbeKind::Failure && !Self::hops_sane(&frame.hops) {
+            self.stats.corrupt_responses += 1;
+            return;
+        }
         // Blend the volatile per-hop signals (tx rate, queue) into the
         // previous snapshot: Eqn 3 takes a min across hops, and a min of
         // independently-noisy terms is biased low — smoothing each hop
@@ -1339,6 +1371,32 @@ impl EdgeAgent for UfabEdge {
     fn on_inject(&mut self, ctx: &mut EdgeCtx, msg: Inject) {
         let Inject::App(msg) = msg;
         self.submit(ctx, msg);
+    }
+
+    fn on_restart(&mut self, ctx: &mut EdgeCtx) {
+        // μFAB-E process restart: everything the SmartNIC program keeps in
+        // its own memory — path candidates, telemetry, registrations,
+        // receiver tokens, schedulers, route caches — is gone. The
+        // transport endpoint survives (host memory: application queues and
+        // inflight accounting), exactly the paper's split between the edge
+        // *program* and the host stack it serves.
+        self.pairs.clear();
+        self.rx_demand.clear();
+        self.rx_admitted.clear();
+        self.wfq = WfqScheduler::new();
+        self.routes_back.clear();
+        self.reverse_cache.clear();
+        self.keepalive_cursor = 0;
+        self.stats.restarts += 1;
+        // Rebuild from probing: every pair that still has work re-enters
+        // through the §3.4 bootstrap (fresh candidates, registering probe,
+        // candidate probes), as a newly-started edge would.
+        for pair in self.ep.sending_pairs() {
+            if self.ep.has_backlog(pair) || self.ep.inflight(pair) > 0 {
+                self.activate_pair(ctx, pair);
+            }
+        }
+        self.pump(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -29,6 +29,12 @@ use telemetry::RateEstimator;
 /// Flow-id bit marking an auto-generated RPC reply.
 pub const REPLY_FLAG: u64 = 1 << 63;
 
+/// Cap on the exponential RTO backoff: the effective RTO never exceeds
+/// `base_rto << RTO_BACKOFF_CAP_EXP` (64×). Keeps a long-blackholed
+/// pair probing often enough to notice repair quickly while bounding
+/// its retransmit-storm contribution.
+pub const RTO_BACKOFF_CAP_EXP: u32 = 6;
+
 // `AppMsg` now lives in `netsim` (shared by every layer); re-exported
 // here so existing `ufab::endpoint::AppMsg` imports keep working.
 pub use netsim::AppMsg;
@@ -65,6 +71,15 @@ pub struct SendState {
     inflight: u64,
     retx: VecDeque<u64>,
     backlog: u64,
+    /// Exponential RTO backoff exponent: grows by one per timeout
+    /// round (capped at [`RTO_BACKOFF_CAP_EXP`]), reset by any valid
+    /// ACK. Blackholed pairs thus retransmit at rto, 2·rto, 4·rto, …
+    /// instead of a fixed-interval storm.
+    backoff: u32,
+    /// Cumulative acked payload bytes — monotone progress counter used
+    /// by wedged-pair detection (unlike `last_activity`, it cannot be
+    /// refreshed by fruitless retransmissions).
+    acked_bytes: u64,
     /// Sent-payload rate (GP demand estimation).
     pub tx_meter: RateEstimator,
     /// Acked-payload rate (violation detection).
@@ -82,6 +97,8 @@ impl SendState {
             inflight: 0,
             retx: VecDeque::new(),
             backlog: 0,
+            backoff: 0,
+            acked_bytes: 0,
             tx_meter: RateEstimator::new(meter_tau),
             acked_meter: RateEstimator::new(meter_tau),
             last_activity: 0,
@@ -379,24 +396,50 @@ impl Endpoint {
         if valid {
             st.inflight = st.inflight.saturating_sub(freed);
             st.acked_meter.on_bytes(now, freed);
+            st.acked_bytes += freed;
             st.last_activity = now;
+            // Forward progress: the path works again, resume prompt
+            // retransmission timing.
+            st.backoff = 0;
         }
         AckResult { freed, rtt, valid }
     }
 
-    /// Queue timed-out segments for retransmission. Returns `true` if any
-    /// segment is now waiting in the retransmit queue.
+    /// Queue timed-out segments for retransmission, applying bounded
+    /// exponential backoff: each timeout round doubles the effective
+    /// RTO (up to `rto << RTO_BACKOFF_CAP_EXP`); any valid ACK resets
+    /// it. Returns `true` if any segment is now waiting in the
+    /// retransmit queue.
     pub fn check_timeouts(&mut self, now: Time, pair: PairId, rto: Time) -> bool {
         let Some(st) = self.send.get_mut(&pair) else {
             return false;
         };
+        let eff_rto = rto.saturating_mul(1u64 << st.backoff.min(RTO_BACKOFF_CAP_EXP));
+        let mut fired = false;
         for (&seq, o) in st.outstanding.iter_mut() {
-            if !o.queued_retx && now.saturating_sub(o.sent_at) >= rto {
+            if !o.queued_retx && now.saturating_sub(o.sent_at) >= eff_rto {
                 o.queued_retx = true;
                 st.retx.push_back(seq);
+                fired = true;
             }
         }
+        // One increment per timeout round, not per segment: segments
+        // already queued keep the round open without growing it again.
+        if fired && st.backoff < RTO_BACKOFF_CAP_EXP {
+            st.backoff += 1;
+        }
         !st.retx.is_empty()
+    }
+
+    /// Current RTO backoff exponent for a pair (0 = no backoff).
+    pub fn rto_backoff(&self, pair: PairId) -> u32 {
+        self.send.get(&pair).map(|s| s.backoff).unwrap_or(0)
+    }
+
+    /// Cumulative acked payload bytes on a pair — a monotone progress
+    /// counter for wedged-pair detection.
+    pub fn acked_bytes(&self, pair: PairId) -> u64 {
+        self.send.get(&pair).map(|s| s.acked_bytes).unwrap_or(0)
     }
 
     /// Process an arriving data packet: update reassembly, record
@@ -628,6 +671,55 @@ mod tests {
         // The retransmission was counted on the sender's recorder.
         assert_eq!(tx.recorder().borrow().retransmits, 1);
         assert_eq!(tx.inflight(ab), 0);
+    }
+
+    #[test]
+    fn rto_backoff_schedule_is_exponential_capped_and_resets() {
+        let (f, ab, _) = fabric();
+        let mut tx = endpoint(NodeId(0), &f);
+        let mut rx = endpoint(NodeId(1), &f);
+        tx.submit(0, AppMsg::oneway(20, ab, 1000, 0));
+        let rto = 100 * US;
+        let _ = tx.next_segment(0, ab).unwrap();
+        // Walk the blackhole schedule: retransmission k must fire
+        // exactly after rto << min(k, CAP) since the previous send.
+        let mut sent_at = 0u64;
+        let mut last = None;
+        for round in 0..10u32 {
+            let exp = round.min(RTO_BACKOFF_CAP_EXP);
+            let eff = rto << exp;
+            // Just before the deadline: nothing fires.
+            assert!(
+                !tx.check_timeouts(sent_at + eff - 1, ab, rto),
+                "round {round}: fired early"
+            );
+            assert_eq!(tx.rto_backoff(ab), round.min(RTO_BACKOFF_CAP_EXP));
+            // At the deadline: the segment is queued for retransmit.
+            assert!(
+                tx.check_timeouts(sent_at + eff, ab, rto),
+                "round {round}: did not fire at rto<<{exp}"
+            );
+            sent_at += eff;
+            let (d, _) = tx.next_segment(sent_at, ab).unwrap();
+            assert!(round == 0 || d.retx);
+            last = Some(d);
+        }
+        // Exponent saturated at the cap, not beyond.
+        assert_eq!(tx.rto_backoff(ab), RTO_BACKOFF_CAP_EXP);
+        // Delivery: ACK resets the backoff and counts progress.
+        let d = last.unwrap();
+        let (ack, _) = rx.on_data(sent_at + 10, &wrap(NodeId(0), NodeId(1), ab, d, sent_at));
+        let res = tx.on_ack(sent_at + 20, ab, &ack);
+        assert!(res.valid);
+        // Karn: the delivered copy was a retransmission — no RTT sample.
+        assert!(res.rtt.is_none());
+        assert_eq!(tx.rto_backoff(ab), 0);
+        assert_eq!(tx.acked_bytes(ab), 1000);
+        // Post-reset, the next timeout uses the base RTO again.
+        tx.submit(sent_at + 20, AppMsg::oneway(21, ab, 500, 0));
+        let (d2, _) = tx.next_segment(sent_at + 20, ab).unwrap();
+        assert!(!d2.retx);
+        assert!(tx.check_timeouts(sent_at + 20 + rto, ab, rto));
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!   retransmission credit).
 //! * [`BoundedQueueWatchdog`] — DESIGN §3: with two-stage admission,
 //!   switch queues stay around/below ~3 BDP.
+//! * [`StaleRegistrationSweep`] — §4.2: registrations orphaned by a fault
+//!   (edge restart, lost finish) are reclaimed by the idle sweep within a
+//!   bounded number of cleanup periods — leaks never grow unboundedly.
+//! * [`WedgedPairWatchdog`] — recovery liveness: a pair with pending work
+//!   must make ack-level progress within the stall bound; faults may
+//!   pause a pair, never wedge it permanently.
 
 use crate::core_agent::UfabCore;
 use crate::edge::UfabEdge;
@@ -154,6 +160,11 @@ impl Invariant<Simulator> for BoundedQueueWatchdog {
             let node = NodeId(i as u32);
             for p in 0..sim.n_ports(node) {
                 let port = sim.port(node, netsim::PortNo(p as u16));
+                if !port.up {
+                    // A downed link drains nothing by definition; its
+                    // backlog is the fault's fault, not admission's.
+                    continue;
+                }
                 let bdp = bdp_bytes(port.cap_bps, self.rtt_ns).max(1);
                 let limit = (self.factor * bdp as f64) as u64;
                 if port.q_bytes > limit {
@@ -166,5 +177,122 @@ impl Invariant<Simulator> for BoundedQueueWatchdog {
             }
         }
         Ok(())
+    }
+}
+
+/// §4.2 reclamation under faults: per-pair registrations whose liveness
+/// refresh stopped (edge restarted, finish lost, path abandoned) must be
+/// swept by the idle cleanup within `grace` cleanup periods. A healthy
+/// sweep needs at most two periods (one to cross the idle threshold, one
+/// for the timer to come round); anything older than the grace bound is
+/// a leak that conservation alone cannot see — the registers *agree*
+/// with the leaked pair, they are just both wrong forever.
+pub struct StaleRegistrationSweep {
+    /// The switch cleanup period (`UfabConfig::core_cleanup_period`).
+    pub cleanup_period: Time,
+    /// Staleness tolerated, in cleanup periods (fault-aware default 2.5).
+    pub grace: f64,
+}
+
+impl StaleRegistrationSweep {
+    /// Watchdog for switches sweeping every `cleanup_period` ns.
+    pub fn new(cleanup_period: Time) -> Self {
+        Self {
+            cleanup_period,
+            grace: 2.5,
+        }
+    }
+}
+
+impl Invariant<Simulator> for StaleRegistrationSweep {
+    fn name(&self) -> &'static str {
+        "stale-registration-sweep"
+    }
+
+    fn check(&mut self, sim: &Simulator, t: u64) -> Result<(), String> {
+        let bound = (self.grace * self.cleanup_period as f64) as Time;
+        let Some(cutoff) = t.checked_sub(bound) else {
+            return Ok(()); // too early for anything to be overdue
+        };
+        for i in 0..sim.n_nodes() {
+            let node = NodeId(i as u32);
+            let Some(core) = sim.try_switch_agent::<UfabCore>(node) else {
+                continue;
+            };
+            for (port, st) in core.port_summaries() {
+                let stale = st.stale_pairs(cutoff);
+                if stale > 0 {
+                    return Err(format!(
+                        "switch {node} port {port}: {stale} registration(s) idle \
+                         longer than {:.1}×cleanup-period ({} ns) — sweep is not \
+                         reclaiming leaked state",
+                        self.grace, bound
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recovery liveness: every pair with pending work must grow its
+/// cumulative acked-byte counter within `stall_ns`. The counter is
+/// monotone and only moves on *delivered* data — unlike last-activity
+/// clocks it cannot be refreshed by fruitless retransmissions, so a
+/// black-holed pair is caught even while its RTO machinery spins.
+/// `stall_ns` is the fault-aware tolerance: set it above the longest
+/// injected outage plus the capped RTO backoff, so faults pause pairs
+/// without firing and only a genuine wedge (lost pair state, dead route
+/// never re-qualified) trips it.
+pub struct WedgedPairWatchdog {
+    /// Max time a pair with work may go without acking new bytes.
+    pub stall_ns: Time,
+    /// Last observed (acked_bytes, time-of-last-progress) per pair.
+    prev: HashMap<(u32, PairId), (u64, Time)>,
+}
+
+impl WedgedPairWatchdog {
+    /// Watchdog firing after `stall_ns` without ack progress.
+    pub fn new(stall_ns: Time) -> Self {
+        Self {
+            stall_ns,
+            prev: HashMap::new(),
+        }
+    }
+}
+
+impl Invariant<Simulator> for WedgedPairWatchdog {
+    fn name(&self) -> &'static str {
+        "wedged-pair-watchdog"
+    }
+
+    fn check(&mut self, sim: &Simulator, t: u64) -> Result<(), String> {
+        let mut verdict = Ok(());
+        for i in 0..sim.n_nodes() {
+            let node = NodeId(i as u32);
+            let Some(edge) = sim.try_edge::<UfabEdge>(node) else {
+                continue;
+            };
+            for pair in edge.ep.sending_pairs() {
+                let has_work = edge.ep.has_backlog(pair) || edge.ep.inflight(pair) > 0;
+                if !has_work {
+                    self.prev.remove(&(node.raw(), pair));
+                    continue;
+                }
+                let acked = edge.ep.acked_bytes(pair);
+                let entry = self.prev.entry((node.raw(), pair)).or_insert((acked, t));
+                if acked > entry.0 {
+                    *entry = (acked, t);
+                } else if t.saturating_sub(entry.1) > self.stall_ns && verdict.is_ok() {
+                    verdict = Err(format!(
+                        "edge {node} pair {pair}: no ack progress for {} ns \
+                         (> {} ns) with work pending — pair is wedged",
+                        t.saturating_sub(entry.1),
+                        self.stall_ns
+                    ));
+                }
+            }
+        }
+        verdict
     }
 }

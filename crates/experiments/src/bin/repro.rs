@@ -25,28 +25,32 @@
 //! and exits non-zero if any invariant fires.
 
 use experiments::scenarios::{
-    ablation, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig20, fig4,
-    fig5, tables, tokens_demo,
+    ablation, chaos, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig20,
+    fig4, fig5, tables, tokens_demo,
 };
 
-/// Every name `repro` accepts on the command line.
+/// Every name `repro` accepts on the command line. `chaos` is the
+/// failure-recovery harness — not a paper figure, so `all` excludes it.
 const KNOWN_SCENARIOS: &[&str] = &[
     "fig4", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "fig17",
-    "fig18ab", "fig18c", "fig20", "table3", "table4", "tokens", "ablate", "all",
+    "fig18ab", "fig18c", "fig20", "table3", "table4", "tokens", "ablate", "chaos", "all",
 ];
 
 fn usage() -> String {
     format!(
         "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N] [--jobs N] \
-         [--trace [EVENTS]] [--check-invariants]\n\
-         scenarios: {}",
-        KNOWN_SCENARIOS.join(" ")
+         [--trace [EVENTS]] [--check-invariants] [--plan PRESET]\n\
+         scenarios: {}\n\
+         chaos presets (--plan): {} all",
+        KNOWN_SCENARIOS.join(" "),
+        chaos::PRESETS.join(" ")
     )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default();
+    let mut plan: Option<String> = None;
     let mut scenarios: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -88,6 +92,9 @@ fn main() {
                 scale.trace = Some(cap);
             }
             "--check-invariants" => scale.check_invariants = true,
+            "--plan" => {
+                plan = Some(it.next().expect("--plan needs a preset name").clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return;
@@ -164,6 +171,10 @@ fn main() {
     }
     if want("ablate") {
         ablation::run(scale);
+    }
+    // Opt-in only: the chaos harness is not part of `all`.
+    if scenarios.iter().any(|s| s == "chaos") {
+        chaos::run(scale, plan.as_deref().unwrap_or("all"));
     }
     eprintln!("\n[repro finished in {:.1}s]", t0.elapsed().as_secs_f64());
     if scale.check_invariants {

@@ -8,7 +8,10 @@ use obs::{InvariantSuite, ObsHandle};
 use std::rc::Rc;
 use topology::Topo;
 use ufab::endpoint::AppMsg;
-use ufab::invariants::{BoundedQueueWatchdog, EdgeAccounting, RegisterConservation};
+use ufab::invariants::{
+    BoundedQueueWatchdog, EdgeAccounting, RegisterConservation, StaleRegistrationSweep,
+    WedgedPairWatchdog,
+};
 use ufab::{FabricSpec, UfabConfig, UfabCore, UfabEdge};
 use workloads::driver::{Driver, WorkloadPort};
 
@@ -226,6 +229,43 @@ impl Runner {
             .unwrap_or(10 * US)
             .max(1);
         suite.register(Box::new(BoundedQueueWatchdog::new(rtt, 6.0)));
+        self.invariants = Some(suite);
+    }
+
+    /// Register the *fault-aware* invariant suite for chaos runs: the
+    /// steady-state checks stay on, with tolerances widened to what a
+    /// fault may legitimately cause, plus two liveness checks that only
+    /// matter under faults:
+    ///
+    /// * register conservation must hold *through* switch wipes and edge
+    ///   restarts (a wipe zeroes registers and registrations together);
+    /// * leaked registrations (orphaned by a restart) must be reclaimed
+    ///   by the §4.2 idle sweep within `2.5 ×` `cleanup_period` — never
+    ///   grow unboundedly;
+    /// * a pair with pending work must ack new bytes within `stall_ns`
+    ///   (set above the longest injected outage + capped RTO backoff);
+    /// * the queue watchdog gets a wide factor — link degradation
+    ///   shrinks the BDP under a backlog built at full capacity — and
+    ///   skips downed ports entirely.
+    pub fn enable_chaos_invariants(&mut self, period: Time, cleanup_period: Time, stall_ns: Time) {
+        let mut suite = InvariantSuite::new(period);
+        if self.system.is_ufab() {
+            suite.register(Box::new(RegisterConservation::default()));
+            suite.register(Box::new(EdgeAccounting::default()));
+            suite.register(Box::new(StaleRegistrationSweep::new(cleanup_period)));
+            suite.register(Box::new(WedgedPairWatchdog::new(stall_ns)));
+        }
+        let h0 = self.topo.hosts[0];
+        let rtt = self
+            .topo
+            .hosts
+            .iter()
+            .skip(1)
+            .map(|&h| self.topo.base_rtt(h0, h))
+            .max()
+            .unwrap_or(10 * US)
+            .max(1);
+        suite.register(Box::new(BoundedQueueWatchdog::new(rtt, 40.0)));
         self.invariants = Some(suite);
     }
 

@@ -80,6 +80,7 @@ pub fn run_a(scale: Scale) -> Table {
             *e = (*e).max(q);
             m
         });
+    let mut series: Vec<(f64, u64)> = Vec::new(); // (min_frac, max_q) per ms bin
     for b in 0..(until / MS) as usize {
         let mut agg = 0.0;
         let mut min_frac = f64::INFINITY;
@@ -96,6 +97,7 @@ pub fn run_a(scale: Scale) -> Table {
             agg += rate;
             min_frac = min_frac.min(rate / (guar_gbps[i] * 1e9));
         }
+        series.push((min_frac, *qmap.get(&(b as Time)).unwrap_or(&0)));
         table.row([
             b.to_string(),
             format!("{:.2}", agg / 1e9),
@@ -112,6 +114,46 @@ pub fn run_a(scale: Scale) -> Table {
     println!(
         "fail_at = {} ms; migrations performed = {migrations}",
         fail_at / MS
+    );
+    // ---- Machine-checked recovery SLO (§5.4) ----
+    // Within two join-stagger periods of the core failure every VF must
+    // be re-qualified — back above 80 % of its guarantee and *staying*
+    // there for the rest of the run — and switch queues must return to
+    // ≈0 (well under one BDP; the paper shows near-zero throughout).
+    let deadline_bin = ((fail_at + 2 * stagger) / MS) as usize;
+    let recovered_at = (0..series.len()).find(|&b| {
+        b * (MS as usize) >= fail_at as usize && series[b..].iter().all(|&(frac, _)| frac >= 0.8)
+    });
+    match recovered_at {
+        Some(b) => assert!(
+            b <= deadline_bin,
+            "fig15a recovery SLO violated: VFs re-qualified at t={b} ms, \
+             after the deadline of {deadline_bin} ms (fail at {} ms)",
+            fail_at / MS
+        ),
+        None => panic!(
+            "fig15a recovery SLO violated: some VF never durably returned \
+             above 80% of its guarantee after the failure at {} ms",
+            fail_at / MS
+        ),
+    }
+    let q_bound: u64 = if scale.quick { 64_000 } else { 512_000 };
+    let tail_q = series[deadline_bin.min(series.len() - 1)..]
+        .iter()
+        .map(|&(_, q)| q)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        tail_q <= q_bound,
+        "fig15a recovery SLO violated: post-recovery queue peak {tail_q} B \
+         exceeds {q_bound} B — queues did not return to ≈0"
+    );
+    println!(
+        "recovery SLO: re-qualified at t={} ms (deadline {} ms), \
+         post-recovery queue peak {} KB",
+        recovered_at.unwrap_or(0),
+        deadline_bin,
+        tail_q / 1000
     );
     emit(
         "fig15a_failover",

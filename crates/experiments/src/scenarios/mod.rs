@@ -1,6 +1,7 @@
 //! One module per reproduced figure/table.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod fig11;
 pub mod fig12;

@@ -132,6 +132,12 @@ pub trait EdgeAgent: Any {
     /// A workload driver injected a message (e.g. an `AppMsg`).
     fn on_inject(&mut self, _ctx: &mut EdgeCtx, _msg: Inject) {}
 
+    /// The agent process restarted (fault injection): volatile control
+    /// state is gone and must be rebuilt — μFAB-E rebuilds path state
+    /// from probing. Durable transport state (host memory) survives.
+    /// Default: no-op, for transports with no state worth modelling.
+    fn on_restart(&mut self, _ctx: &mut EdgeCtx) {}
+
     /// Downcast support for experiment introspection.
     fn as_any(&self) -> &dyn Any;
     /// Mutable downcast support.
@@ -185,6 +191,12 @@ pub trait SwitchAgent: Any {
 
     /// A previously-set timer fired (e.g. §4.2 idle cleanup).
     fn on_timer(&mut self, _ctx: &mut SwitchCtx, _kind: u64) {}
+
+    /// The switch rebooted (fault injection): wipe all dataplane state
+    /// — registers, Bloom filter and shadow structures together, so
+    /// conservation invariants hold across the wipe. Pending timers
+    /// keep firing. Default: no-op for stateless dataplanes.
+    fn on_reset(&mut self, _ctx: &mut SwitchCtx) {}
 
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;

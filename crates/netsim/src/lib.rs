@@ -23,7 +23,10 @@
 //!   at dequeue time — exactly where a P4 switch stamps INT — and get a
 //!   periodic timer (μFAB-C's idle cleanup).
 //! * **Faults**: links can be scheduled up/down and can drop packets at a
-//!   configured probability (the smoltcp guide's fault-injection ethos).
+//!   configured probability (the smoltcp guide's fault-injection ethos);
+//!   the [`chaos`] module generalises this into seed-deterministic
+//!   [`FaultPlan`]s (flapping, degradation, burst loss, selective loss,
+//!   INT corruption, switch reboots, edge restarts).
 //!
 //! Determinism: all randomness flows from one master seed through per-node
 //! RNG streams, and the event heap breaks time ties by insertion sequence,
@@ -34,6 +37,7 @@
 
 pub mod agent;
 pub mod builder;
+pub mod chaos;
 pub mod equeue;
 pub mod ids;
 pub mod msg;
@@ -45,6 +49,7 @@ pub mod time;
 
 pub use agent::{EdgeAgent, EdgeCtx, NicView, PortView, SwitchAgent, SwitchCtx};
 pub use builder::{LinkSpec, NetworkBuilder};
+pub use chaos::{ChaosStats, FaultKind, FaultPlan};
 pub use equeue::EventQueue;
 pub use ids::{FlowId, NodeId, PairId, PortNo, TenantId, VmId};
 pub use msg::{AppMsg, Inject};

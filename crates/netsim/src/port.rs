@@ -19,6 +19,8 @@ pub struct PortStats {
     pub drops_down: u64,
     /// Packets dropped by the random-loss fault injector.
     pub drops_random: u64,
+    /// Packets dropped by the chaos engine (burst or selective loss).
+    pub drops_chaos: u64,
     /// Packets that left with an ECN mark.
     pub ecn_marked: u64,
     /// High-water mark of the queue in bytes.

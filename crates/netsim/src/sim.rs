@@ -2,6 +2,9 @@
 
 use crate::agent::{EdgeAgent, EdgeCtx, Effects, NicView, PortView, SwitchAgent, SwitchCtx};
 use crate::builder::{Network, Node, NodeKind};
+use crate::chaos::{
+    self, ChaosRuntime, ChaosStats, FaultKind, FaultPlan, GeLoss, ModKind, RngProb,
+};
 use crate::equeue::EventQueue;
 use crate::ids::{NodeId, PortNo};
 use crate::msg::Inject;
@@ -23,6 +26,10 @@ enum EvKind {
     SwitchTimer(u64),
     Inject(Box<Inject>),
     LinkSet(PortNo, bool),
+    // Chaos reconfiguration (boxed: rare, keeps the entry small).
+    ChaosMod(PortNo, Box<ModKind>),
+    // Wipe the agent at this node: switch reboot / edge restart.
+    AgentReset,
 }
 
 /// Global drop counters across all ports.
@@ -30,7 +37,7 @@ enum EvKind {
 pub struct GlobalStats {
     /// Events processed.
     pub events: u64,
-    /// Total packets dropped (overflow + down + random).
+    /// Total packets dropped (overflow + down + random + chaos).
     pub drops: u64,
     /// Packets dropped to queue overflow.
     pub drops_overflow: u64,
@@ -38,6 +45,8 @@ pub struct GlobalStats {
     pub drops_down: u64,
     /// Packets dropped by the random-loss model.
     pub drops_random: u64,
+    /// Packets dropped by the chaos engine (burst + selective loss).
+    pub drops_chaos: u64,
     /// Packets carrying an ECN mark at transmission.
     pub ecn_marked: u64,
     /// Retransmitted data packets leaving host NICs.
@@ -70,6 +79,9 @@ pub struct Simulator {
     started: bool,
     obs: ObsHandle,
     det: Option<DetHash>,
+    // Fault-injection state: `None` until a plan is applied, so the
+    // disabled engine costs one branch in the TX hot path.
+    chaos: Option<Box<ChaosRuntime>>,
 }
 
 impl Simulator {
@@ -93,6 +105,7 @@ impl Simulator {
             started: false,
             obs: ObsHandle::disabled(),
             det: None,
+            chaos: None,
         }
     }
 
@@ -161,10 +174,16 @@ impl Simulator {
             s.drops_overflow += p.stats.drops_overflow;
             s.drops_down += p.stats.drops_down;
             s.drops_random += p.stats.drops_random;
+            s.drops_chaos += p.stats.drops_chaos;
             s.ecn_marked += p.stats.ecn_marked;
         }
-        s.drops = s.drops_overflow + s.drops_down + s.drops_random;
+        s.drops = s.drops_overflow + s.drops_down + s.drops_random + s.drops_chaos;
         s
+    }
+
+    /// Chaos-engine counters (all zero when no plan was applied).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.chaos.as_ref().map(|c| c.stats).unwrap_or_default()
     }
 
     /// Borrow a port (for queue sampling etc.).
@@ -263,24 +282,290 @@ impl Simulator {
         self.push(self.now, node, EvKind::Inject(Box::new(msg.into())));
     }
 
+    /// Check that `node`:`port` names an existing egress port. Fails
+    /// *eagerly* with a labelled panic — a silently enqueued event for
+    /// a bogus target would only blow up (or worse, be ignored) deep
+    /// inside the run, long after the call site is gone.
+    ///
+    /// # Panics
+    /// Panics with `what` in the message on an unknown node or an
+    /// out-of-range port.
+    fn validate_port(&self, node: NodeId, port: PortNo, what: &str) {
+        assert!(
+            node.idx() < self.nodes.len(),
+            "{what}: unknown node {node} (topology has {} nodes)",
+            self.nodes.len()
+        );
+        let n_ports = self.nodes[node.idx()].ports.len();
+        assert!(
+            port.idx() < n_ports,
+            "{what}: no such port {port} on {node} (node has {n_ports} ports)"
+        );
+    }
+
     /// Schedule a link state change (fault injection): the channel *from*
     /// `node` out of `port` goes up/down at time `at`.
+    ///
+    /// # Panics
+    /// Panics on an unknown node or out-of-range port.
     pub fn schedule_link_event(&mut self, at: Time, node: NodeId, port: PortNo, up: bool) {
+        self.validate_port(node, port, "schedule_link_event");
         self.push(at.max(self.now), node, EvKind::LinkSet(port, up));
     }
 
     /// Take a link (both directions of a node-port pair) down at `at`.
+    ///
+    /// # Panics
+    /// Panics on an unknown node or out-of-range port.
     pub fn schedule_link_failure(&mut self, at: Time, node: NodeId, port: PortNo) {
+        self.validate_port(node, port, "schedule_link_failure");
         let peer = self.nodes[node.idx()].ports[port.idx()].peer;
         let peer_port = self.nodes[node.idx()].ports[port.idx()].peer_port;
         self.schedule_link_event(at, node, port, false);
         self.schedule_link_event(at, peer, peer_port, false);
     }
 
+    /// Bring a link (both directions of a node-port pair) back up at `at`.
+    ///
+    /// # Panics
+    /// Panics on an unknown node or out-of-range port.
+    pub fn schedule_link_restore(&mut self, at: Time, node: NodeId, port: PortNo) {
+        self.validate_port(node, port, "schedule_link_restore");
+        let peer = self.nodes[node.idx()].ports[port.idx()].peer;
+        let peer_port = self.nodes[node.idx()].ports[port.idx()].peer_port;
+        self.schedule_link_event(at, node, port, true);
+        self.schedule_link_event(at, peer, peer_port, true);
+    }
+
+    /// Expand a [`FaultPlan`] into scheduled events. Every stochastic
+    /// fault gets its own RNG seeded from `(plan seed, fault index)`,
+    /// so the per-node RNG streams are untouched and same-seed runs
+    /// stay byte-identical. May be called multiple times (plans
+    /// compose); an empty plan still arms the engine, which is how the
+    /// overhead benchmark measures the armed-but-idle cost.
+    ///
+    /// # Panics
+    /// Panics with a labelled message when a fault names an unknown
+    /// node, an out-of-range port, a switch fault on a non-switch (or
+    /// edge restart on a non-host), or a degenerate flap period.
+    pub fn apply_chaos(&mut self, plan: &FaultPlan) {
+        if self.chaos.is_none() {
+            self.chaos = Some(Box::default());
+        }
+        for (idx, fault) in plan.faults().iter().enumerate() {
+            let fseed = chaos::derive_seed(plan.seed(), idx as u64);
+            match fault.clone() {
+                FaultKind::LinkDown {
+                    node,
+                    port,
+                    at,
+                    restore_at,
+                } => {
+                    self.validate_port(node, port, "chaos link-down");
+                    self.schedule_link_failure(at, node, port);
+                    if let Some(r) = restore_at {
+                        assert!(r > at, "chaos link-down: restore_at {r} <= at {at}");
+                        self.schedule_link_restore(r, node, port);
+                    }
+                }
+                FaultKind::LinkFlap {
+                    node,
+                    port,
+                    from,
+                    until,
+                    down_for,
+                    up_for,
+                } => {
+                    self.validate_port(node, port, "chaos link-flap");
+                    assert!(
+                        down_for > 0 && up_for > 0,
+                        "chaos link-flap: zero-length phase (down_for={down_for}, up_for={up_for})"
+                    );
+                    assert!(
+                        until > from,
+                        "chaos link-flap: until {until} <= from {from}"
+                    );
+                    let mut t = from;
+                    while t < until {
+                        self.schedule_link_failure(t, node, port);
+                        let up_at = (t + down_for).min(until);
+                        self.schedule_link_restore(up_at, node, port);
+                        t = up_at + up_for;
+                    }
+                }
+                FaultKind::Degrade {
+                    node,
+                    port,
+                    from,
+                    until,
+                    cap_factor,
+                    prop_factor,
+                } => {
+                    self.validate_port(node, port, "chaos degrade");
+                    assert!(
+                        cap_factor > 0.0 && prop_factor > 0.0,
+                        "chaos degrade: factors must be positive"
+                    );
+                    assert!(until > from, "chaos degrade: until {until} <= from {from}");
+                    self.push(
+                        from,
+                        node,
+                        EvKind::ChaosMod(
+                            port,
+                            Box::new(ModKind::DegradeOn {
+                                cap_factor,
+                                prop_factor,
+                            }),
+                        ),
+                    );
+                    self.push(
+                        until,
+                        node,
+                        EvKind::ChaosMod(port, Box::new(ModKind::DegradeOff)),
+                    );
+                }
+                FaultKind::BurstLoss {
+                    node,
+                    port,
+                    from,
+                    until,
+                    p_enter,
+                    p_exit,
+                    loss_good,
+                    loss_bad,
+                } => {
+                    self.validate_port(node, port, "chaos burst-loss");
+                    assert!(
+                        until > from,
+                        "chaos burst-loss: until {until} <= from {from}"
+                    );
+                    self.push(
+                        from,
+                        node,
+                        EvKind::ChaosMod(
+                            port,
+                            Box::new(ModKind::BurstOn {
+                                p_enter,
+                                p_exit,
+                                loss_good,
+                                loss_bad,
+                                seed: fseed,
+                            }),
+                        ),
+                    );
+                    self.push(
+                        until,
+                        node,
+                        EvKind::ChaosMod(port, Box::new(ModKind::BurstOff)),
+                    );
+                }
+                FaultKind::CtrlLoss {
+                    node,
+                    port,
+                    from,
+                    until,
+                    prob,
+                } => {
+                    self.validate_port(node, port, "chaos ctrl-loss");
+                    assert!(
+                        until > from,
+                        "chaos ctrl-loss: until {until} <= from {from}"
+                    );
+                    self.push(
+                        from,
+                        node,
+                        EvKind::ChaosMod(port, Box::new(ModKind::CtrlOn { prob, seed: fseed })),
+                    );
+                    self.push(
+                        until,
+                        node,
+                        EvKind::ChaosMod(port, Box::new(ModKind::CtrlOff)),
+                    );
+                }
+                FaultKind::IntCorrupt {
+                    node,
+                    from,
+                    until,
+                    prob,
+                } => {
+                    assert!(
+                        node.idx() < self.nodes.len(),
+                        "chaos int-corrupt: unknown node {node}"
+                    );
+                    assert_eq!(
+                        self.nodes[node.idx()].kind,
+                        NodeKind::Switch,
+                        "chaos int-corrupt: {node} is not a switch"
+                    );
+                    assert!(
+                        until > from,
+                        "chaos int-corrupt: until {until} <= from {from}"
+                    );
+                    self.push(
+                        from,
+                        node,
+                        EvKind::ChaosMod(
+                            PortNo(0),
+                            Box::new(ModKind::CorruptOn { prob, seed: fseed }),
+                        ),
+                    );
+                    self.push(
+                        until,
+                        node,
+                        EvKind::ChaosMod(PortNo(0), Box::new(ModKind::CorruptOff)),
+                    );
+                }
+                FaultKind::SwitchFail {
+                    node,
+                    at,
+                    recover_at,
+                } => {
+                    assert!(
+                        node.idx() < self.nodes.len(),
+                        "chaos switch-fail: unknown node {node}"
+                    );
+                    assert_eq!(
+                        self.nodes[node.idx()].kind,
+                        NodeKind::Switch,
+                        "chaos switch-fail: {node} is not a switch"
+                    );
+                    let n_ports = self.nodes[node.idx()].ports.len();
+                    for p in 0..n_ports {
+                        self.schedule_link_failure(at, node, PortNo(p as u16));
+                    }
+                    if let Some(r) = recover_at {
+                        assert!(r > at, "chaos switch-fail: recover_at {r} <= at {at}");
+                        // Reset first (same timestamp, earlier seq):
+                        // the reboot wipes registers, Bloom filter and
+                        // shadow state *before* traffic can flow again.
+                        self.push(r, node, EvKind::AgentReset);
+                        for p in 0..n_ports {
+                            self.schedule_link_restore(r, node, PortNo(p as u16));
+                        }
+                    }
+                }
+                FaultKind::EdgeRestart { node, at } => {
+                    assert!(
+                        node.idx() < self.nodes.len(),
+                        "chaos edge-restart: unknown node {node}"
+                    );
+                    assert_eq!(
+                        self.nodes[node.idx()].kind,
+                        NodeKind::Host,
+                        "chaos edge-restart: {node} is not a host"
+                    );
+                    self.push(at, node, EvKind::AgentReset);
+                }
+            }
+        }
+    }
+
     fn push(&mut self, time: Time, node: NodeId, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(time, seq, (node, kind));
+        // Clamp to now: chaos plans may name instants that already
+        // passed (e.g. applied mid-run); time must never go backwards.
+        self.queue.push(time.max(self.now), seq, (node, kind));
     }
 
     /// Invoke `on_start` on every installed agent. Idempotent.
@@ -343,6 +628,8 @@ impl Simulator {
                 EvKind::SwitchTimer(k) => (4, *k),
                 EvKind::Inject(m) => (5, m.det_aux()),
                 EvKind::LinkSet(p, up) => (6, ((p.raw() as u64) << 1) | *up as u64),
+                EvKind::ChaosMod(p, m) => (7, ((p.raw() as u64) << 8) | m.det_code()),
+                EvKind::AgentReset => (8, 0),
             };
             det.fold_u64(code << 56 | (node.raw() as u64));
             det.fold_u64(time);
@@ -355,8 +642,92 @@ impl Simulator {
             EvKind::SwitchTimer(k) => self.with_switch_timer_ctx(node, |a, ctx| a.on_timer(ctx, k)),
             EvKind::Inject(m) => self.with_edge(node, |a, ctx| a.on_inject(ctx, *m)),
             EvKind::LinkSet(p, up) => self.on_link_set(node, p, up),
+            EvKind::ChaosMod(p, m) => self.on_chaos_mod(node, p, *m),
+            EvKind::AgentReset => self.on_agent_reset(node),
         }
         true
+    }
+
+    /// Apply a chaos reconfiguration event.
+    fn on_chaos_mod(&mut self, node: NodeId, portno: PortNo, m: ModKind) {
+        let mut ch = self.chaos.take().unwrap_or_default();
+        let key = (node.raw(), portno.raw());
+        match m {
+            ModKind::DegradeOn {
+                cap_factor,
+                prop_factor,
+            } => {
+                let pc = ch.ports.entry(key).or_default();
+                let port = &mut self.nodes[node.idx()].ports[portno.idx()];
+                let base_cap = *pc.base_cap.get_or_insert(port.cap_bps);
+                let base_prop = *pc.base_prop.get_or_insert(port.prop_ns);
+                port.cap_bps = ((base_cap as f64 * cap_factor) as u64).max(1);
+                port.prop_ns = (base_prop as f64 * prop_factor) as Time;
+                ch.stats.degrade_transitions += 1;
+            }
+            ModKind::DegradeOff => {
+                if let Some(pc) = ch.ports.get_mut(&key) {
+                    let port = &mut self.nodes[node.idx()].ports[portno.idx()];
+                    if let Some(cap) = pc.base_cap.take() {
+                        port.cap_bps = cap;
+                    }
+                    if let Some(prop) = pc.base_prop.take() {
+                        port.prop_ns = prop;
+                    }
+                    ch.stats.degrade_transitions += 1;
+                }
+            }
+            ModKind::BurstOn {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+                seed,
+            } => {
+                ch.ports.entry(key).or_default().ge =
+                    Some(GeLoss::new(p_enter, p_exit, loss_good, loss_bad, seed));
+            }
+            ModKind::BurstOff => {
+                if let Some(pc) = ch.ports.get_mut(&key) {
+                    pc.ge = None;
+                }
+            }
+            ModKind::CtrlOn { prob, seed } => {
+                ch.ports.entry(key).or_default().ctrl = Some(RngProb::new(prob, seed));
+            }
+            ModKind::CtrlOff => {
+                if let Some(pc) = ch.ports.get_mut(&key) {
+                    pc.ctrl = None;
+                }
+            }
+            ModKind::CorruptOn { prob, seed } => {
+                ch.corrupt.insert(node.raw(), RngProb::new(prob, seed));
+            }
+            ModKind::CorruptOff => {
+                ch.corrupt.remove(&node.raw());
+            }
+        }
+        self.chaos = Some(ch);
+    }
+
+    /// Reset the agent at `node`: a switch reboot wipes the dataplane
+    /// program's state; a host restart wipes the edge agent's volatile
+    /// control state (transport state survives in host memory).
+    fn on_agent_reset(&mut self, node: NodeId) {
+        match self.nodes[node.idx()].kind {
+            NodeKind::Host => {
+                if let Some(ch) = &mut self.chaos {
+                    ch.stats.edge_restarts += 1;
+                }
+                self.with_edge(node, |a, ctx| a.on_restart(ctx));
+            }
+            NodeKind::Switch => {
+                if let Some(ch) = &mut self.chaos {
+                    ch.stats.switch_wipes += 1;
+                }
+                self.with_switch_timer_ctx(node, |a, ctx| a.on_reset(ctx));
+            }
+        }
     }
 
     fn on_arrive(&mut self, node: NodeId, pkt: Box<Packet>) {
@@ -525,17 +896,53 @@ impl Simulator {
         }
         self.push(now + ser, node, EvKind::TxDone(portno));
         let lost = loss > 0.0 && self.rngs[node.idx()].gen::<f64>() < loss;
-        if lost {
-            self.nodes[node.idx()].ports[portno.idx()]
-                .stats
-                .drops_random += 1;
+        let mut chaos_reason: Option<&'static str> = None;
+        if let Some(ch) = self.chaos.as_deref_mut() {
+            // Chaos hot path. When armed but idle the port map is
+            // empty and this is two hash probes on fault-free ports —
+            // and when never armed, one branch above.
+            if !lost {
+                if let Some(pc) = ch.ports.get_mut(&(node.raw(), portno.raw())) {
+                    if let Some(sl) = &mut pc.ctrl {
+                        if chaos::is_ctrl(&pkt.kind) && sl.hit() {
+                            chaos_reason = Some("chaos-ctrl");
+                            ch.stats.ctrl_drops += 1;
+                        }
+                    }
+                    if chaos_reason.is_none() {
+                        if let Some(ge) = &mut pc.ge {
+                            if ge.sample() {
+                                chaos_reason = Some("chaos-burst");
+                                ch.stats.burst_drops += 1;
+                            }
+                        }
+                    }
+                }
+                if chaos_reason.is_none() && is_switch {
+                    if let Some(c) = ch.corrupt.get_mut(&node.raw()) {
+                        if chaos::corrupt_packet(&mut pkt, c) {
+                            ch.stats.int_corruptions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if lost || chaos_reason.is_some() {
+            let ps = &mut self.nodes[node.idx()].ports[portno.idx()].stats;
+            let reason = if let Some(r) = chaos_reason {
+                ps.drops_chaos += 1;
+                r
+            } else {
+                ps.drops_random += 1;
+                "random"
+            };
             self.obs.rec(Category::Drop, now, || ObsEvent::Drop {
                 node: node.raw(),
                 port: portno.raw(),
                 pair: pkt.pair.raw(),
                 kind: pkt.kind.label(),
                 bytes: pkt.size,
-                reason: "random",
+                reason,
             });
         } else {
             self.push(now + ser + prop, peer, EvKind::Arrive(pkt));
@@ -998,6 +1405,233 @@ mod tests {
         // Both ECMP members saw traffic.
         assert!(sim.port(s0, p01).stats.tx_pkts > 5);
         assert!(sim.port(s0, p02).stats.tx_pkts > 5);
+    }
+
+    #[test]
+    fn chaos_flap_flaps_and_ends_up() {
+        let (mut sim, h0, h1, s) = line(LinkSpec::gbps(10, US), 5);
+        sim.set_edge_agent(h0, sender(h0, h1, 4, u64::MAX));
+        sim.set_edge_agent(h1, sink(h1));
+        let ms = crate::time::MS;
+        let plan = FaultPlan::new(1).fault(FaultKind::LinkFlap {
+            node: s,
+            port: PortNo(1),
+            from: 2 * ms,
+            until: 8 * ms,
+            down_for: ms,
+            up_for: ms,
+        });
+        sim.apply_chaos(&plan);
+        sim.run_until(10 * ms);
+        // 3 down/up cycles × 2 directions × 2 transitions = 12 LinkSets.
+        assert_eq!(sim.stats().link_flaps, 12);
+        assert!(sim.port(s, PortNo(1)).up, "link must end restored");
+        assert!(sim.edge::<Sink>(h1).received_bytes > 0);
+        sim.edge_mut::<WindowSender>(h0).to_send = 0;
+    }
+
+    #[test]
+    fn chaos_degrade_slows_then_restores() {
+        let ms = crate::time::MS;
+        let (mut sim, h0, h1, s) = line(LinkSpec::gbps(10, US), 5);
+        sim.set_edge_agent(h0, sender(h0, h1, 64, u64::MAX));
+        sim.set_edge_agent(h1, sink(h1));
+        let plan = FaultPlan::new(1).fault(FaultKind::Degrade {
+            node: s,
+            port: PortNo(1),
+            from: 2 * ms,
+            until: 4 * ms,
+            cap_factor: 0.1,
+            prop_factor: 2.0,
+        });
+        sim.apply_chaos(&plan);
+        sim.run_until(2 * ms);
+        let at2 = sim.edge::<Sink>(h1).received_bytes;
+        sim.run_until(4 * ms);
+        let at4 = sim.edge::<Sink>(h1).received_bytes;
+        sim.run_until(6 * ms);
+        let at6 = sim.edge::<Sink>(h1).received_bytes;
+        let healthy = at2 as f64;
+        let degraded = (at4 - at2) as f64;
+        let restored = (at6 - at4) as f64;
+        assert!(
+            degraded < 0.25 * healthy,
+            "degraded window moved {degraded} vs healthy {healthy}"
+        );
+        assert!(
+            restored > 0.5 * healthy,
+            "restore failed: {restored} vs healthy {healthy}"
+        );
+        assert_eq!(sim.chaos_stats().degrade_transitions, 2);
+        assert_eq!(sim.port(s, PortNo(1)).cap_bps, 10_000_000_000);
+        sim.edge_mut::<WindowSender>(h0).to_send = 0;
+    }
+
+    #[test]
+    fn chaos_burst_loss_drops_and_is_deterministic() {
+        let ms = crate::time::MS;
+        let run = |seed: u64| {
+            let (mut sim, h0, h1, _s) = line(LinkSpec::gbps(10, US), 7);
+            sim.enable_det_hash();
+            sim.set_edge_agent(h0, sender(h0, h1, 8, 3000));
+            sim.set_edge_agent(h1, sink(h1));
+            let plan = FaultPlan::new(seed).fault(FaultKind::BurstLoss {
+                node: h0,
+                port: PortNo(0),
+                from: 0,
+                until: 20 * ms,
+                p_enter: 0.02,
+                p_exit: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.7,
+            });
+            sim.apply_chaos(&plan);
+            sim.run_until(20 * ms);
+            (
+                sim.chaos_stats().burst_drops,
+                sim.stats().drops_chaos,
+                sim.det_digest().unwrap(),
+            )
+        };
+        let (drops_a, port_drops_a, dig_a) = run(9);
+        assert!(drops_a > 0, "burst loss never fired");
+        assert_eq!(drops_a, port_drops_a, "port counters must agree");
+        // Same plan seed ⇒ byte-identical; different ⇒ diverges.
+        assert_eq!(run(9), (drops_a, port_drops_a, dig_a));
+        assert_ne!(run(10).2, dig_a, "plan seed must matter");
+    }
+
+    #[test]
+    fn chaos_switch_fail_resets_agent_then_restores() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct ResetCounter {
+            resets: Rc<Cell<u32>>,
+        }
+        impl SwitchAgent for ResetCounter {
+            fn on_egress(&mut self, _ctx: &mut SwitchCtx, _v: PortView, _p: &mut Packet) {}
+            fn on_reset(&mut self, _ctx: &mut SwitchCtx) {
+                self.resets.set(self.resets.get() + 1);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let ms = crate::time::MS;
+        let (mut sim, h0, h1, s) = line(LinkSpec::gbps(10, US), 5);
+        let resets = Rc::new(Cell::new(0u32));
+        sim.set_edge_agent(h0, sender(h0, h1, 4, u64::MAX));
+        sim.set_edge_agent(h1, sink(h1));
+        sim.set_switch_agent(
+            s,
+            Box::new(ResetCounter {
+                resets: resets.clone(),
+            }),
+        );
+        let plan = FaultPlan::new(1).fault(FaultKind::SwitchFail {
+            node: s,
+            at: 2 * ms,
+            recover_at: Some(4 * ms),
+        });
+        sim.apply_chaos(&plan);
+        sim.run_until(3 * ms);
+        assert!(!sim.port(s, PortNo(0)).up);
+        assert!(!sim.port(s, PortNo(1)).up);
+        assert_eq!(resets.get(), 0, "reset must not precede recovery");
+        sim.run_until(6 * ms);
+        assert_eq!(resets.get(), 1);
+        assert_eq!(sim.chaos_stats().switch_wipes, 1);
+        assert!(sim.port(s, PortNo(0)).up && sim.port(s, PortNo(1)).up);
+        sim.edge_mut::<WindowSender>(h0).to_send = 0;
+    }
+
+    #[test]
+    fn chaos_edge_restart_invokes_hook() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        struct RestartCounter {
+            restarts: Rc<Cell<u32>>,
+        }
+        impl EdgeAgent for RestartCounter {
+            fn on_start(&mut self, _ctx: &mut EdgeCtx) {}
+            fn on_packet(&mut self, _ctx: &mut EdgeCtx, _pkt: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut EdgeCtx, _kind: u64) {}
+            fn on_restart(&mut self, _ctx: &mut EdgeCtx) {
+                self.restarts.set(self.restarts.get() + 1);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let ms = crate::time::MS;
+        let (mut sim, h0, _h1, _s) = line(LinkSpec::gbps(10, US), 5);
+        let restarts = Rc::new(Cell::new(0u32));
+        sim.set_edge_agent(
+            h0,
+            Box::new(RestartCounter {
+                restarts: restarts.clone(),
+            }),
+        );
+        let plan = FaultPlan::new(1).fault(FaultKind::EdgeRestart { node: h0, at: ms });
+        sim.apply_chaos(&plan);
+        sim.run_until(2 * ms);
+        assert_eq!(restarts.get(), 1);
+        assert_eq!(sim.chaos_stats().edge_restarts, 1);
+    }
+
+    #[test]
+    fn chaos_ctrl_loss_spares_data() {
+        let ms = crate::time::MS;
+        let (mut sim, h0, h1, _s) = line(LinkSpec::gbps(10, US), 7);
+        sim.set_edge_agent(h0, sender(h0, h1, 4, 500));
+        sim.set_edge_agent(h1, sink(h1));
+        // Drop every ACK leaving h1 — data (h0→h1) must be untouched.
+        let plan = FaultPlan::new(3).fault(FaultKind::CtrlLoss {
+            node: h1,
+            port: PortNo(0),
+            from: 0,
+            until: 10 * ms,
+            prob: 1.0,
+        });
+        sim.apply_chaos(&plan);
+        sim.run_until(10 * ms);
+        let st = sim.chaos_stats();
+        assert!(st.ctrl_drops > 0, "no control packets dropped");
+        // The sender's window stalls (no ACKs) but data arrived intact.
+        assert!(sim.edge::<Sink>(h1).received_bytes >= 4 * 1500);
+        assert_eq!(sim.edge::<WindowSender>(h0).acked, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_link_failure: no such port")]
+    fn link_failure_rejects_out_of_range_port() {
+        let (mut sim, _h0, _h1, s) = line(LinkSpec::gbps(10, US), 1);
+        sim.schedule_link_failure(0, s, PortNo(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_link_event: unknown node")]
+    fn link_event_rejects_unknown_node() {
+        let (mut sim, _h0, _h1, _s) = line(LinkSpec::gbps(10, US), 1);
+        sim.schedule_link_event(0, NodeId(1000), PortNo(0), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos switch-fail")]
+    fn chaos_rejects_switch_fail_on_host() {
+        let (mut sim, h0, _h1, _s) = line(LinkSpec::gbps(10, US), 1);
+        let plan = FaultPlan::new(1).fault(FaultKind::SwitchFail {
+            node: h0,
+            at: 0,
+            recover_at: None,
+        });
+        sim.apply_chaos(&plan);
     }
 
     #[test]

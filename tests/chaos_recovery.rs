@@ -1,0 +1,227 @@
+//! Full-stack failure-recovery tests: chaos faults injected under the
+//! complete μFAB edge/core stack, asserting the system *recovers* —
+//! corrupt INT is quarantined, wiped switches are re-registered, a
+//! restarted edge rebuilds its path state from probing, and control-plane
+//! loss never wedges a pair.
+
+use experiments::harness::{Runner, SystemKind, SLICE};
+use netsim::{FaultKind, FaultPlan, NodeId, PairId, PortNo, Time, MS};
+use topology::TestbedCfg;
+use ufab::{FabricSpec, UfabConfig, UfabCore, UfabEdge};
+use workloads::driver::Driver;
+use workloads::patterns::BulkDriver;
+
+/// Common rig: 4 VFs, one per source host, into the last host; bulk work
+/// outlasting the horizon. Returns (runner, srcs, pairs, dst, guar_bps).
+fn rig(seed: u64, cleanup: Time) -> (Runner, Vec<NodeId>, Vec<PairId>, NodeId, f64) {
+    let topo = topology::testbed(TestbedCfg::default());
+    let dst = *topo.hosts.last().unwrap();
+    let srcs: Vec<NodeId> = topo
+        .hosts
+        .iter()
+        .copied()
+        .filter(|&h| h != dst)
+        .take(4)
+        .collect();
+    let mut fabric = FabricSpec::new(500e6);
+    let mut pairs = Vec::new();
+    for (i, &src) in srcs.iter().enumerate() {
+        let t = fabric.add_tenant(&format!("vf{i}"), 1.0);
+        let v0 = fabric.add_vm(t, src);
+        let v1 = fabric.add_vm(t, dst);
+        pairs.push(fabric.add_pair(v0, v1));
+    }
+    let ucfg = UfabConfig {
+        core_cleanup_period: cleanup,
+        ..UfabConfig::default()
+    };
+    let r = Runner::new(topo, fabric, SystemKind::Ufab, seed, Some(ucfg), MS);
+    (r, srcs, pairs, dst, 1.0 * 500e6)
+}
+
+fn run_with(r: &mut Runner, srcs: &[NodeId], pairs: &[PairId], until: Time) {
+    let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
+        .iter()
+        .zip(pairs)
+        .map(|(&s, &p)| (MS, s, p, 100_000_000_000, 0))
+        .collect();
+    let mut d = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut d];
+    r.run(until, SLICE, &mut drivers);
+}
+
+/// All pairs deliver ≥ `frac` of the guarantee over the final 5 ms.
+fn assert_requalified(r: &Runner, pairs: &[PairId], until: Time, guar_bps: f64, frac: f64) {
+    let rec = r.rec.borrow();
+    for &p in pairs {
+        let series = rec.pair_rates.get(&p.raw()).expect("pair delivered");
+        for b in ((until / MS) - 5) as usize..(until / MS) as usize {
+            let rate = series.rate_at(b);
+            assert!(
+                rate >= frac * guar_bps,
+                "pair {p} bin {b} ms: {rate:.3e} bps < {frac} × guarantee"
+            );
+        }
+    }
+}
+
+/// Corrupt INT stamps are detected and quarantined: the edge counts them,
+/// none reach rate control (windows would explode/collapse and violate
+/// the guarantee), and the run still re-qualifies.
+#[test]
+fn int_corruption_is_quarantined() {
+    let (mut r, srcs, pairs, _dst, guar) = rig(3, 10 * MS);
+    let core1 = r.topo.cores[0];
+    let mut plan = FaultPlan::new(3);
+    plan.push(FaultKind::IntCorrupt {
+        node: core1,
+        from: 5 * MS,
+        until: 25 * MS,
+        prob: 0.3,
+    });
+    r.sim.apply_chaos(&plan);
+    run_with(&mut r, &srcs, &pairs, 35 * MS);
+    assert!(
+        r.sim.chaos_stats().int_corruptions > 50,
+        "corruption fault barely fired: {}",
+        r.sim.chaos_stats().int_corruptions
+    );
+    let rejected: u64 = srcs
+        .iter()
+        .map(|&s| {
+            r.sim
+                .try_edge::<UfabEdge>(s)
+                .unwrap()
+                .stats
+                .corrupt_responses
+        })
+        .sum();
+    assert!(
+        rejected > 0,
+        "no corrupt response was ever detected at the edges"
+    );
+    assert_requalified(&r, &pairs, 35 * MS, guar, 0.85);
+}
+
+/// A rebooted switch loses registers + Bloom state; edges re-register on
+/// their next probes and orphaned leftovers are swept — the registration
+/// count converges back instead of leaking.
+#[test]
+fn switch_wipe_recovers_registrations() {
+    let (mut r, srcs, pairs, _dst, guar) = rig(4, 5 * MS);
+    let core1 = r.topo.cores[0];
+    let mut plan = FaultPlan::new(4);
+    plan.push(FaultKind::SwitchFail {
+        node: core1,
+        at: 10 * MS,
+        recover_at: Some(16 * MS),
+    });
+    r.sim.apply_chaos(&plan);
+    run_with(&mut r, &srcs, &pairs, 45 * MS);
+    let core = r.sim.try_switch_agent::<UfabCore>(core1).unwrap();
+    assert_eq!(core.stats.wipes, 1, "switch should have wiped once");
+    // After recovery + one cleanup period, no registration on any switch
+    // may be stale (orphans swept, survivors refreshed by live probes).
+    let cutoff = 45 * MS - 3 * 5 * MS;
+    for &sw in r.topo.tors.iter().chain(&r.topo.aggs).chain(&r.topo.cores) {
+        let Some(core) = r.sim.try_switch_agent::<UfabCore>(sw) else {
+            continue;
+        };
+        for (port, st) in core.port_summaries() {
+            assert_eq!(
+                st.stale_pairs(cutoff),
+                0,
+                "switch {sw} port {port}: stale registrations leaked after wipe"
+            );
+        }
+    }
+    assert_requalified(&r, &pairs, 45 * MS, guar, 0.85);
+}
+
+/// An edge restart wipes path/probe state; the agent rebuilds it from
+/// probing (fresh candidates, fresh registrations) and its pairs resume.
+#[test]
+fn edge_restart_rebuilds_from_probing() {
+    let (mut r, srcs, pairs, _dst, guar) = rig(5, 10 * MS);
+    let mut plan = FaultPlan::new(5);
+    plan.push(FaultKind::EdgeRestart {
+        node: srcs[0],
+        at: 12 * MS,
+    });
+    r.sim.apply_chaos(&plan);
+    run_with(&mut r, &srcs, &pairs, 30 * MS);
+    let edge = r.sim.try_edge::<UfabEdge>(srcs[0]).unwrap();
+    assert_eq!(edge.stats.restarts, 1);
+    assert_eq!(r.sim.chaos_stats().edge_restarts, 1);
+    assert_requalified(&r, &pairs, 30 * MS, guar, 0.85);
+}
+
+/// Control-plane-selective loss (probes/responses/ACKs dropped, data
+/// spared) may slow the control loop but must not wedge any pair: the
+/// capped RTO backoff keeps retrying and delivery continues.
+#[test]
+fn ctrl_loss_does_not_wedge_pairs() {
+    let (mut r, srcs, pairs, dst, guar) = rig(6, 10 * MS);
+    let mut plan = FaultPlan::new(6);
+    plan.push(FaultKind::CtrlLoss {
+        node: dst,
+        port: PortNo(0),
+        from: 5 * MS,
+        until: 25 * MS,
+        prob: 0.5,
+    });
+    r.sim.apply_chaos(&plan);
+    run_with(&mut r, &srcs, &pairs, 40 * MS);
+    assert!(
+        r.sim.chaos_stats().ctrl_drops > 100,
+        "ctrl-loss fault barely fired: {}",
+        r.sim.chaos_stats().ctrl_drops
+    );
+    for (&s, &p) in srcs.iter().zip(&pairs) {
+        let edge = r.sim.try_edge::<UfabEdge>(s).unwrap();
+        assert!(
+            edge.ep.acked_bytes(p) > 0,
+            "pair {p} never delivered anything"
+        );
+    }
+    assert_requalified(&r, &pairs, 40 * MS, guar, 0.85);
+}
+
+/// Byte-identity of a full chaos run: the same seed gives the same
+/// digest; a different plan seed diverges (the faults really do draw
+/// from the plan's derived streams).
+#[test]
+fn chaos_run_is_deterministic() {
+    let digest = |plan_seed: u64| {
+        let (mut r, srcs, pairs, dst, _) = rig(9, 10 * MS);
+        r.sim.enable_det_hash();
+        let core1 = r.topo.cores[0];
+        let mut plan = FaultPlan::new(plan_seed);
+        plan.push(FaultKind::BurstLoss {
+            node: core1,
+            port: PortNo(0),
+            from: 5 * MS,
+            until: 15 * MS,
+            p_enter: 0.05,
+            p_exit: 0.25,
+            loss_good: 0.0,
+            loss_bad: 0.3,
+        });
+        plan.push(FaultKind::CtrlLoss {
+            node: dst,
+            port: PortNo(0),
+            from: 5 * MS,
+            until: 15 * MS,
+            prob: 0.3,
+        });
+        r.sim.apply_chaos(&plan);
+        run_with(&mut r, &srcs, &pairs, 20 * MS);
+        r.sim.det_digest().expect("digest enabled")
+    };
+    assert_eq!(
+        digest(42),
+        digest(42),
+        "same plan seed must be byte-identical"
+    );
+    assert_ne!(digest(42), digest(43), "plan seed must matter");
+}

@@ -1,0 +1,94 @@
+//! Reply reverse-routing under a failed switch (DESIGN §5).
+//!
+//! Probe responses and ACKs retrace the *arrival* route of the packet
+//! they answer, falling back to the receiver's cached shortest path only
+//! for route-less packets. Kill every switch on that cached shortest
+//! path mid-run: replies must keep returning (via the retraced routes,
+//! which migrate with the sender's probes) and the pair must re-qualify
+//! — a receiver pinned to its dead cached path would wedge the pair
+//! even though forward data flows fine.
+
+use experiments::harness::{Runner, SystemKind, SLICE};
+use netsim::{FaultKind, FaultPlan, NodeId, Time, MS};
+use topology::TestbedCfg;
+use ufab::{FabricSpec, UfabEdge};
+use workloads::driver::Driver;
+use workloads::patterns::BulkDriver;
+
+#[test]
+fn replies_survive_failure_of_cached_shortest_path_switch() {
+    let topo = topology::testbed(TestbedCfg::default());
+    let src = topo.hosts[0];
+    let dst = *topo.hosts.last().unwrap();
+    // The receiver's route_back(src) fallback caches this exact path;
+    // its interior nodes are all switches.
+    let back = topo
+        .paths(dst, src, 1)
+        .into_iter()
+        .next()
+        .expect("shortest path back exists");
+    // Kill the spine switches of that path (cores/aggs) — the rack ToRs
+    // are the hosts' only attachment, so killing those would disconnect
+    // the fabric rather than exercise rerouting.
+    let victims: Vec<NodeId> = back.nodes[1..back.nodes.len() - 1]
+        .iter()
+        .copied()
+        .filter(|n| topo.cores.contains(n) || topo.aggs.contains(n))
+        .collect();
+    assert!(
+        !victims.is_empty(),
+        "expected spine switches on the return path"
+    );
+
+    let mut fabric = FabricSpec::new(500e6);
+    let t = fabric.add_tenant("vf", 2.0);
+    let v0 = fabric.add_vm(t, src);
+    let v1 = fabric.add_vm(t, dst);
+    let pair = fabric.add_pair(v0, v1);
+    let guar_bps = 2.0 * 500e6;
+
+    let fail_at = 12 * MS;
+    let until = 40 * MS;
+    let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 11, None, MS);
+    let mut plan = FaultPlan::new(11);
+    for &v in &victims {
+        // Permanent: the cached path never comes back, so recovery can
+        // only come from retraced replies on migrated routes.
+        plan.push(FaultKind::SwitchFail {
+            node: v,
+            at: fail_at,
+            recover_at: None,
+        });
+    }
+    r.sim.apply_chaos(&plan);
+
+    let jobs: Vec<(Time, NodeId, netsim::PairId, u64, u32)> =
+        vec![(MS, src, pair, 10_000_000_000, 0)];
+    let mut d = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut d];
+
+    r.run(fail_at + 2 * MS, SLICE, &mut drivers);
+    let responses_mid = r.sim.try_edge::<UfabEdge>(src).unwrap().stats.responses;
+    r.run(until, SLICE, &mut drivers);
+
+    let edge = r.sim.try_edge::<UfabEdge>(src).unwrap();
+    let responses_end = edge.stats.responses;
+    assert!(
+        responses_end > responses_mid + 10,
+        "probe responses stopped returning after the return-path switch \
+         died ({responses_mid} -> {responses_end})"
+    );
+    // Re-qualification: the pair is back at/above its guarantee for the
+    // tail of the run.
+    let rec = r.rec.borrow();
+    let series = rec.pair_rates.get(&pair.raw()).expect("pair delivered");
+    let tail = ((until / MS) - 5) as usize..(until / MS) as usize;
+    for b in tail {
+        let rate = series.rate_at(b);
+        assert!(
+            rate >= 0.85 * guar_bps,
+            "pair not re-qualified: bin {b} ms delivers {rate:.3e} bps \
+             (< 85% of {guar_bps:.3e})"
+        );
+    }
+}
