@@ -1,15 +1,21 @@
 //! `simbench` — wall-clock simulator benchmarks with a JSON trail.
 //!
 //! ```text
-//! simbench [--smoke] [--jobs N] [--out PATH]
+//! simbench [churn] [--smoke] [--jobs N] [--out PATH]
 //! ```
 //!
-//! Measures (1) single-run event-loop throughput (events/sec) on the
-//! Fig-11-style testbed permutation and (2) the end-to-end wall clock of
-//! `fig11 --quick` serially (`jobs=1`) and with the parallel executor
-//! (`--jobs N`, default 4). Results append to the perf trajectory as
-//! `BENCH_PR2.json` (override with `--out`); see `bench::report` for the
-//! schema.
+//! The default suite measures (1) single-run event-loop throughput
+//! (events/sec) on the Fig-11-style testbed permutation and (2) the
+//! end-to-end wall clock of `fig11 --quick` serially (`jobs=1`) and with
+//! the parallel executor (`--jobs N`, default 4). Results append to the
+//! perf trajectory as `BENCH_PR2.json` (override with `--out`); see
+//! `bench::report` for the schema.
+//!
+//! The `churn` suite measures the fabric manager instead: admission-plan
+//! throughput (decisions/sec over a paper-512 request trace) and the
+//! end-to-end churn cell (simulator events/sec with tenant lifecycle,
+//! qualification polling and the ledger audit in the loop). Its
+//! trajectory file is `BENCH_PR5.json`.
 //!
 //! `--smoke` runs a seconds-scale subset (short horizon, no end-to-end
 //! runs) for CI: it exercises every code path and writes the JSON file,
@@ -19,19 +25,21 @@ use bench::report::{git_rev, write_json, BenchRecord};
 use bench::scenario::{run_testbed_permutation, run_testbed_permutation_chaos_idle};
 use experiments::executor;
 use experiments::scenarios::common::Scale;
-use experiments::scenarios::fig11;
+use experiments::scenarios::{churn, fig11};
 use netsim::MS;
 use std::time::Instant;
 
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_PR2.json".to_string();
+    let mut out: Option<String> = None;
     let mut par_jobs = 4usize;
+    let mut churn_mode = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "churn" => churn_mode = true,
             "--smoke" => smoke = true,
-            "--out" => out = it.next().expect("--out needs a path"),
+            "--out" => out = Some(it.next().expect("--out needs a path")),
             "--jobs" => {
                 par_jobs = it
                     .next()
@@ -40,7 +48,7 @@ fn main() {
                     .expect("jobs must be an integer");
             }
             "--help" | "-h" => {
-                println!("usage: simbench [--smoke] [--jobs N] [--out PATH]");
+                println!("usage: simbench [churn] [--smoke] [--jobs N] [--out PATH]");
                 return;
             }
             s => {
@@ -49,8 +57,73 @@ fn main() {
             }
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if churn_mode {
+            "BENCH_PR5.json".to_string()
+        } else {
+            "BENCH_PR2.json".to_string()
+        }
+    });
     let rev = git_rev();
     let mut records = Vec::new();
+
+    if churn_mode {
+        // (1) Admission-plan throughput: generate a paper-512 request
+        // trace and run the pure control-plane planner (hose-model
+        // admissibility + placement) over it.
+        let target = if smoke { 2_000 } else { 20_000 };
+        let iters = if smoke { 1 } else { 3 };
+        let mut best_ms = f64::INFINITY;
+        let mut decisions = 0usize;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            decisions = churn::admission_bench(1, target);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] churn_admission: {decisions} decisions in {best_ms:.0} ms \
+             ({:.0} decisions/sec)",
+            decisions as f64 / (best_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "churn_admission".to_string(),
+            events_per_sec: decisions as f64 / (best_ms / 1e3),
+            wall_ms: best_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        // (2) End-to-end churn cell: 64-server quick run with the full
+        // lifecycle loop (manager replay, qualification polling, ledger
+        // audit every ms). Events are deterministic; wall is best-of-N.
+        let iters = if smoke { 1 } else { 2 };
+        let mut cell_ms = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            events = churn::bench_cell(1);
+            cell_ms = cell_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] churn_cell: {events} events in {cell_ms:.0} ms \
+             ({:.0} events/sec)",
+            events as f64 / (cell_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "churn_cell".to_string(),
+            events_per_sec: events as f64 / (cell_ms / 1e3),
+            wall_ms: cell_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        if let Err(e) = write_json(&out, &records) {
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[simbench] wrote {out}");
+        return;
+    }
 
     // (1) Single-run event-loop throughput. Best-of-N wall clock to damp
     // scheduler noise; the event count is deterministic.

@@ -265,6 +265,24 @@ impl UfabEdge {
         self.pairs.get(&pair).map(|p| p.w_claim)
     }
 
+    /// §3.3 qualification signal for the fabric manager: `Some(true)`
+    /// when the freshest telemetry for the pair's current path shows
+    /// every hop qualified under the target utilization, `Some(false)`
+    /// when it does not, `None` before any telemetry has arrived.
+    pub fn pair_qualified(&self, pair: PairId) -> Option<bool> {
+        let pc = self.pairs.get(&pair)?;
+        let t = &pc.telem[pc.cur];
+        if t.hops.is_empty() {
+            return None;
+        }
+        Some(rate::path_qualified(
+            &t.hops,
+            0.0,
+            self.fabric.bu_bps,
+            self.cfg.target_utilization,
+        ))
+    }
+
     /// Whether a pair is active (tests/experiments).
     pub fn is_active(&self, pair: PairId) -> Option<bool> {
         self.pairs.get(&pair).map(|p| p.active)

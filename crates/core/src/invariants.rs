@@ -83,11 +83,16 @@ impl Invariant<Simulator> for RegisterConservation {
 }
 
 /// §3.4 edge accounting: a pair's inflight bytes must not *grow* while
-/// above the admitted window. Inflight legitimately exceeds a window
+/// above its admitted allowance. Inflight legitimately exceeds a window
 /// that just shrank (migration bootstrap, stage-2 clamp) — those bytes
 /// drain; the violation is continuing to send. We therefore flag a pair
-/// only when inflight exceeds `window + slack` *and* rose since the
-/// previous evaluation.
+/// only when inflight exceeds the allowance plus slack *and* rose since
+/// the previous evaluation. The allowance is the larger of the admission
+/// window and the Eqn-3 *claim* the pair registered at the switches
+/// (bounded at 8× the window): a fresh burst bootstraps at the
+/// guarantee by design, and its bytes — admitted under the bootstrap
+/// window, accounted under the claim — may outlive the window's
+/// convergence back down while they drain through a busy NIC.
 #[derive(Default)]
 pub struct EdgeAccounting {
     prev: HashMap<(u32, PairId), u64>,
@@ -113,8 +118,9 @@ impl Invariant<Simulator> for EdgeAccounting {
             let mtu = edge.mtu() as u64;
             for pair in edge.pair_ids() {
                 let window = edge.window_of(pair).unwrap_or(0.0);
+                let claim = edge.claim_of(pair).unwrap_or(0.0);
                 let inflight = edge.ep.inflight(pair);
-                let allowed = 2.0 * window + (2 * mtu) as f64;
+                let allowed = 2.0 * window.max(claim) + (2 * mtu) as f64;
                 let grew = self
                     .prev
                     .get(&(node.raw(), pair))
@@ -122,7 +128,8 @@ impl Invariant<Simulator> for EdgeAccounting {
                 if inflight as f64 > allowed && grew && verdict.is_ok() {
                     verdict = Err(format!(
                         "edge {node} pair {pair}: inflight {inflight} B grew past \
-                         admitted window {window:.1} B (+slack => {allowed:.1} B)"
+                         admitted window {window:.1} B / claim {claim:.1} B \
+                         (+slack => {allowed:.1} B)"
                     ));
                 }
                 self.prev.insert((node.raw(), pair), inflight);

@@ -1,15 +1,17 @@
 //! `repro` — regenerate the paper's evaluation figures and tables.
 //!
 //! ```text
-//! repro [SCENARIO...] [--full] [--seed N] [--servers N] [--jobs N]
-//!       [--trace [EVENTS]] [--check-invariants]
+//! repro [SCENARIO...] [--list] [--full] [--seed N] [--servers N]
+//!       [--jobs N] [--trace [EVENTS]] [--check-invariants]
 //!
 //! SCENARIO ∈ fig4 fig5 fig11 fig12 fig13 fig14 fig15a fig15b fig16
-//!            fig17 fig18ab fig18c fig20 table3 table4 tokens ablate all
+//!            fig17 fig18ab fig18c fig20 table3 table4 tokens ablate
+//!            chaos churn all
 //! ```
 //!
 //! Default (no scenario): `all` in quick mode. `--full` runs paper-scale
-//! parameters (slower). CSV mirrors land in `results/`.
+//! parameters (slower). `--list` prints every scenario with a one-line
+//! description and exits. CSV mirrors land in `results/`.
 //!
 //! `--jobs N` (or `UFAB_JOBS=N`) sets the worker-thread count for the
 //! parallel experiment executor; the default is the number of available
@@ -25,26 +27,104 @@
 //! and exits non-zero if any invariant fires.
 
 use experiments::scenarios::{
-    ablation, chaos, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig20,
-    fig4, fig5, tables, tokens_demo,
+    ablation, chaos, churn, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
+    fig20, fig4, fig5, tables, tokens_demo,
 };
 
-/// Every name `repro` accepts on the command line. `chaos` is the
-/// failure-recovery harness — not a paper figure, so `all` excludes it.
-const KNOWN_SCENARIOS: &[&str] = &[
-    "fig4", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "fig17",
-    "fig18ab", "fig18c", "fig20", "table3", "table4", "tokens", "ablate", "chaos", "all",
+/// Every scenario `repro` accepts, with the one-line description printed
+/// by `--list`. `chaos` and `churn` are harnesses, not paper figures, so
+/// `all` excludes them.
+const SCENARIOS: &[(&str, &str)] = &[
+    (
+        "fig4",
+        "N-to-1 incast: queue depth and goodput vs baselines",
+    ),
+    ("fig5", "path dispersion of the probe-driven load balancer"),
+    (
+        "fig11",
+        "permutation with guarantee classes: B_min conformance",
+    ),
+    ("fig12", "large incast: bounded-latency admission ablation"),
+    ("fig13", "ECS: Memcached latency vs MongoDB bandwidth hog"),
+    (
+        "fig14",
+        "EBS: storage agents, replication, and GC interference",
+    ),
+    ("fig15a", "qualification latency vs fabric load"),
+    ("fig15b", "qualification latency vs guarantee size"),
+    (
+        "fig16",
+        "90-to-1 on-off toggle: underload/overload convergence",
+    ),
+    (
+        "fig17",
+        "512-server FatTree: tenant-level predictability at load",
+    ),
+    (
+        "fig18ab",
+        "oversubscribed fabric: conformance and utilization",
+    ),
+    ("fig18c", "oversubscribed fabric: per-tenant rate CDF"),
+    ("fig20", "probing overhead vs server count"),
+    ("table3", "guarantee-token defaults per tenant class"),
+    ("table4", "simulator calibration constants"),
+    ("tokens", "worked example of the token arithmetic"),
+    ("ablate", "component ablation of the μFAB edge"),
+    (
+        "chaos",
+        "failure-recovery SLO harness (opt-in; presets via --plan)",
+    ),
+    (
+        "churn",
+        "fabric manager: tenant admission/qualification churn at 512 servers (opt-in)",
+    ),
+    (
+        "all",
+        "every paper figure/table above (excludes chaos, churn)",
+    ),
 ];
 
 fn usage() -> String {
+    let names: Vec<&str> = SCENARIOS.iter().map(|&(n, _)| n).collect();
     format!(
-        "usage: repro [SCENARIO...] [--full] [--seed N] [--servers N] [--jobs N] \
+        "usage: repro [SCENARIO...] [--list] [--full] [--seed N] [--servers N] [--jobs N] \
          [--trace [EVENTS]] [--check-invariants] [--plan PRESET]\n\
          scenarios: {}\n\
          chaos presets (--plan): {} all",
-        KNOWN_SCENARIOS.join(" "),
+        names.join(" "),
         chaos::PRESETS.join(" ")
     )
+}
+
+fn list() {
+    let width = SCENARIOS.iter().map(|&(n, _)| n.len()).max().unwrap_or(0);
+    for &(name, desc) in SCENARIOS {
+        println!("{name:width$}  {desc}");
+    }
+}
+
+/// Exit code for command-line errors (scenario asserts use the default
+/// panic path; invariant violations exit 1).
+const EXIT_USAGE: i32 = 2;
+
+/// Parse an integer flag operand, exiting with a labelled usage error on
+/// a missing or malformed value or one outside `[lo, hi]`.
+fn int_arg(flag: &str, value: Option<&String>, lo: u64, hi: u64) -> u64 {
+    let Some(raw) = value else {
+        eprintln!("error: {flag} needs a value\n{}", usage());
+        std::process::exit(EXIT_USAGE);
+    };
+    match raw.parse::<u64>() {
+        Ok(n) if (lo..=hi).contains(&n) => n,
+        Ok(n) => {
+            eprintln!("error: {flag} {n} is out of range [{lo}, {hi}]");
+            std::process::exit(EXIT_USAGE);
+        }
+        Err(_) => {
+            eprintln!("error: {flag} expects an integer, got '{raw}'");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
 }
 
 fn main() {
@@ -57,28 +137,19 @@ fn main() {
         match arg.as_str() {
             "--full" => scale.quick = false,
             "--quick" => scale.quick = true,
+            "--list" => {
+                list();
+                return;
+            }
             "--jobs" => {
-                let n: usize = it
-                    .next()
-                    .expect("--jobs needs a value")
-                    .parse()
-                    .expect("jobs must be an integer");
-                experiments::executor::set_jobs(n.max(1));
+                let n = int_arg("--jobs", it.next(), 1, 1024);
+                experiments::executor::set_jobs(n as usize);
             }
             "--seed" => {
-                scale.seed = it
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed must be an integer");
+                scale.seed = int_arg("--seed", it.next(), 1, u64::MAX);
             }
             "--servers" => {
-                scale.servers = Some(
-                    it.next()
-                        .expect("--servers needs a value")
-                        .parse()
-                        .expect("servers must be an integer"),
-                );
+                scale.servers = Some(int_arg("--servers", it.next(), 8, 4096) as usize);
             }
             "--trace" => {
                 // Optional capacity operand: `--trace 8192`.
@@ -93,7 +164,11 @@ fn main() {
             }
             "--check-invariants" => scale.check_invariants = true,
             "--plan" => {
-                plan = Some(it.next().expect("--plan needs a preset name").clone());
+                let Some(p) = it.next() else {
+                    eprintln!("error: --plan needs a preset name\n{}", usage());
+                    std::process::exit(EXIT_USAGE);
+                };
+                plan = Some(p.clone());
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -101,14 +176,14 @@ fn main() {
             }
             s if s.starts_with("--") => {
                 eprintln!("error: unknown flag {s}\n{}", usage());
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
             s => {
                 // A typo'd scenario used to be accepted (and silently run
                 // nothing); reject unknown names up front instead.
-                if !KNOWN_SCENARIOS.contains(&s) {
+                if !SCENARIOS.iter().any(|&(n, _)| n == s) {
                     eprintln!("error: unknown scenario '{s}'\n{}", usage());
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE);
                 }
                 scenarios.push(s.to_string());
             }
@@ -172,9 +247,12 @@ fn main() {
     if want("ablate") {
         ablation::run(scale);
     }
-    // Opt-in only: the chaos harness is not part of `all`.
+    // Opt-in only: the chaos and churn harnesses are not part of `all`.
     if scenarios.iter().any(|s| s == "chaos") {
         chaos::run(scale, plan.as_deref().unwrap_or("all"));
+    }
+    if scenarios.iter().any(|s| s == "churn") {
+        churn::run(scale);
     }
     eprintln!("\n[repro finished in {:.1}s]", t0.elapsed().as_secs_f64());
     if scale.check_invariants {

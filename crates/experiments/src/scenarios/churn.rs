@@ -1,0 +1,531 @@
+//! `repro churn` — multi-tenant provisioning churn on the 512-server
+//! FatTree.
+//!
+//! Not a paper figure: the control-plane companion to the data-plane
+//! scenarios. A Poisson stream of tenant requests (lognormal lifetimes,
+//! paper-CDF demand mix, a deliberate over-subscribed class) flows
+//! through the fabric manager — hose-model admission against the
+//! capacity ledger, VM placement, μFAB-E-driven qualification, and
+//! reclamation on departure — while the admitted tenants' traffic runs
+//! on the simulated fabric. Mid-run a core switch fails (chaos engine)
+//! and every guaranteed tenant whose qualified path crossed it is sent
+//! back through `Qualifying` by the same state machine.
+//!
+//! Reported per placement policy:
+//!
+//! * **admit / reject** — admission outcomes (reject must be nonzero:
+//!   the over-subscribed class is refused at admission rather than
+//!   violating an admitted tenant's guarantee);
+//! * **adm_p99_us** — p99 admission-queue latency (decision − arrival);
+//! * **ttg_p99_us** — p99 time-to-guarantee (first `Guaranteed` −
+//!   decision) over admitted tenants;
+//! * **viol_ms** — guarantee-violation milliseconds of bulk tenants,
+//!   counted only inside their `Guaranteed` spans;
+//! * **util_pct** — mean committed fraction of the admissible access
+//!   budget over the arrival window;
+//! * **requal** — chaos-driven re-qualifications;
+//! * **digest** — determinism digest, byte-identical at any `--jobs N`.
+//!
+//! The fabric invariant suite (ledger conservation audit + bounded
+//! qualifying time) always runs — a violation fails the scenario.
+
+use super::common::{emit, f, obs_epilogue, us, Scale};
+use super::fig17::build_topo;
+use crate::executor::{run_jobs, Job};
+use crate::harness::{Runner, SystemKind, SLICE};
+use fabric::{
+    AdmissionCfg, FabricManager, LedgerConservation, Policy, QualifyingStagger, TenantState,
+};
+use metrics::table::Table;
+use metrics::Percentiles;
+use netsim::{FaultKind, FaultPlan, NodeId, PairId, Time, MS, US};
+use obs::InvariantSuite;
+use ufab::{FabricSpec, UfabConfig, UfabEdge};
+use workloads::churn::{gen_trace, ChurnCfg, ChurnDriver, DemandKind, PairDemand, TenantTraffic};
+use workloads::dists::{kv_object_sizes, websearch_flow_sizes};
+use workloads::driver::Driver;
+
+/// Outer control-plane step: manager advance + qualification polling.
+const STEP: Time = 250 * US;
+/// No tenant may sit in `Qualifying` longer than this. Residence in
+/// `Qualifying` is naturally bounded by the tenant's lifetime (clamped
+/// at 20 ms by the churn model — departure forces the transition out),
+/// so the enforceable stagger bound is that maximum plus admission
+/// queueing slack: a tenant beyond it has been *lost* by the state
+/// machine, not merely slowed by congestion or a chaos outage.
+const STAGGER_BOUND: Time = 25 * MS;
+/// Guarantee threshold for violation accounting (matches chaos SLOs).
+const GUAR_FRACTION: f64 = 0.85;
+
+/// Everything a policy cell reports back for asserts and the table.
+struct CellOut {
+    row: [String; 9],
+    epilogue: String,
+    arrivals: usize,
+    admitted: usize,
+    rejected: usize,
+    reclaimed: usize,
+    overclaim_admitted: usize,
+    fabric_violations: usize,
+    fabric_report: String,
+    viol_ms: u64,
+    guaranteed_ms: u64,
+    events: u64,
+}
+
+/// Timeline of one churn run (all instants in ns).
+struct Timeline {
+    first_arrival: Time,
+    last_arrival: Time,
+    fault_at: Time,
+    fault_recover: Time,
+    horizon: Time,
+}
+
+fn timeline(quick: bool) -> Timeline {
+    let s: Time = if quick { 1 } else { 3 };
+    let first_arrival = 2 * MS;
+    let last_arrival = first_arrival + 68 * MS * s;
+    let mid = first_arrival + 34 * MS * s;
+    Timeline {
+        first_arrival,
+        last_arrival,
+        fault_at: mid,
+        fault_recover: mid + 5 * MS,
+        // Latest depart: last_arrival + queueing + max lifetime; then
+        // the reclaim grace and a settling margin.
+        horizon: last_arrival + 20 * MS + MS + 4 * MS,
+    }
+}
+
+fn churn_cfg(scale: &Scale, tl: &Timeline, n_hosts: usize) -> ChurnCfg {
+    ChurnCfg {
+        seed: scale.seed,
+        // 22k tenants/sec at 512 servers, scaled with the fabric.
+        arrivals_per_sec: 22_000.0 * n_hosts as f64 / 512.0,
+        first_arrival: tl.first_arrival,
+        last_arrival: tl.last_arrival,
+        mean_lifetime_ns: 5e6,
+        sigma_lifetime: 0.8,
+        min_lifetime: 600 * US,
+        max_lifetime: 20 * MS,
+    }
+}
+
+/// Per-pair demand program for one admitted tenant of `kind`.
+fn demand_for(kind: DemandKind, guar_bps: f64) -> PairDemand {
+    match kind {
+        // The predictability probe: offer exactly the guarantee.
+        DemandKind::Bulk => PairDemand::Steady { bps: guar_bps },
+        // Whales stress the ledger, not the data plane: cap the offered
+        // rate well under the (huge) hose.
+        DemandKind::Whale => PairDemand::Steady {
+            bps: guar_bps.min(1.5e9),
+        },
+        DemandKind::WebFlows => {
+            let sizes = websearch_flow_sizes();
+            // ~30 % of the guarantee as heavy-tailed flow arrivals.
+            let rate = (0.3 * guar_bps / (sizes.mean() * 8.0)).max(1.0);
+            PairDemand::Flows {
+                mean_gap_ns: 1e9 / rate,
+                sizes,
+            }
+        }
+        // 2 000 lookups/sec of small objects per pair.
+        DemandKind::KvFlows => PairDemand::Flows {
+            mean_gap_ns: 500_000.0,
+            sizes: kv_object_sizes(),
+        },
+        DemandKind::Overclaim => unreachable!("overclaim tenants are never admitted"),
+    }
+}
+
+fn run_cell(scale: Scale, policy: Policy) -> CellOut {
+    let tl = timeline(scale.quick);
+    let servers = scale.servers.unwrap_or(512);
+    let topo = build_topo(servers, false);
+    let n_hosts = topo.hosts.len();
+
+    // 1) Trace + admission plan (pure control plane, pre-simulation).
+    let trace = gen_trace(&churn_cfg(&scale, &tl, n_hosts));
+    let acfg = AdmissionCfg {
+        policy,
+        ..AdmissionCfg::default()
+    };
+    let reqs: Vec<fabric::TenantReq> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, a)| fabric::TenantReq {
+            name: format!("churn-{i}"),
+            n_vms: a.n_vms,
+            tokens_per_vm: a.tokens_per_vm,
+            arrival: a.arrival,
+            lifetime: a.lifetime,
+        })
+        .collect();
+    let plan = fabric::plan(&topo, &acfg, &reqs);
+    let overclaim_admitted = plan
+        .admitted
+        .iter()
+        .filter(|p| trace[p.req].kind == DemandKind::Overclaim)
+        .count();
+
+    // 2) FabricSpec + traffic programs for every admitted tenant. VMs
+    //    ring-pair (i → i+1 mod n); anti-affinity in the placer makes
+    //    every pair cross-host.
+    let mut fabric_spec = FabricSpec::new(acfg.bu_bps);
+    let mut fabric_ids: Vec<u32> = Vec::with_capacity(plan.admitted.len());
+    let mut tenant_pairs: Vec<Vec<(NodeId, PairId)>> = Vec::with_capacity(plan.admitted.len());
+    let mut programs: Vec<TenantTraffic> = Vec::with_capacity(plan.admitted.len());
+    for p in &plan.admitted {
+        let kind = trace[p.req].kind;
+        let tid = fabric_spec.add_tenant(&p.name, p.tokens_per_vm);
+        let vms: Vec<_> = p
+            .hosts
+            .iter()
+            .map(|&h| fabric_spec.add_vm(tid, h))
+            .collect();
+        let guar = p.tokens_per_vm * acfg.bu_bps;
+        let mut pairs = Vec::with_capacity(vms.len());
+        let mut prog_pairs = Vec::with_capacity(vms.len());
+        for i in 0..vms.len() {
+            let j = (i + 1) % vms.len();
+            let pair = fabric_spec.add_pair(vms[i], vms[j]);
+            pairs.push((p.hosts[i], pair));
+            prog_pairs.push((p.hosts[i], pair, demand_for(kind, guar)));
+        }
+        fabric_ids.push(tid.raw());
+        tenant_pairs.push(pairs);
+        programs.push(TenantTraffic {
+            tag: tid.raw(),
+            start: p.decision,
+            stop: p.depart,
+            pairs: prog_pairs,
+        });
+    }
+    let mut mgr = FabricManager::new(&topo, acfg, &plan, &fabric_ids);
+
+    // 3) Simulator + chaos: one core switch dies mid-window.
+    let dead_core = topo.cores[0];
+    let mut fplan = FaultPlan::new(scale.seed);
+    fplan.push(FaultKind::SwitchFail {
+        node: dead_core,
+        at: tl.fault_at,
+        recover_at: Some(tl.fault_recover),
+    });
+    // Shortened idle sweep (paper default 10 s): departed tenants stop
+    // sending for good, so their switch registrations must be reclaimed
+    // inside the run — and registrations orphaned by the core-switch
+    // outage (a lost finish probe) likewise.
+    let ucfg = UfabConfig {
+        core_cleanup_period: 5 * MS,
+        ..UfabConfig::default()
+    };
+    let mut r = Runner::new(
+        topo,
+        fabric_spec,
+        SystemKind::Ufab,
+        scale.seed,
+        Some(ucfg),
+        MS,
+    );
+    if let Some(cap) = scale.trace {
+        r.enable_trace(cap);
+    } else {
+        r.sim.enable_det_hash();
+    }
+    if scale.check_invariants {
+        // Fault-aware suite: the run contains a switch failure by design.
+        r.enable_chaos_invariants(MS / 4, 5 * MS, tl.fault_recover + 15 * MS);
+    }
+    mgr.set_obs(r.obs.clone());
+    r.sim.apply_chaos(&fplan);
+
+    // The fabric-manager suite always runs: ledger conservation is this
+    // scenario's hard acceptance criterion, not an opt-in.
+    let mut fsuite: InvariantSuite<FabricManager> = InvariantSuite::new(MS);
+    fsuite.register(Box::new(LedgerConservation));
+    fsuite.register(Box::new(QualifyingStagger::new(STAGGER_BOUND)));
+
+    let mut driver = ChurnDriver::new(programs, scale.seed ^ 0x5eed, 0);
+
+    // 4) Run loop: advance the simulator one STEP at a time, then drive
+    //    the manager (admissions / departures / reclaims), poll the
+    //    qualification signal, and fire chaos re-qualification.
+    let mut baselines: Vec<Vec<u64>> = vec![Vec::new(); mgr.tenants().len()];
+    let mut util_sum = 0.0;
+    let mut util_n = 0u64;
+    let mut requal_total = 0u64;
+    let mut fault_done = false;
+    let mut now = 0;
+    while now < tl.horizon {
+        now = (now + STEP).min(tl.horizon);
+        {
+            let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+            r.run(now, SLICE, &mut drivers);
+        }
+        let out = mgr.advance(now);
+        // Snapshot acked-bytes baselines for tenants entering Qualifying:
+        // qualification requires telemetry *and* delivered progress.
+        for &i in &out.admitted {
+            baselines[i] = tenant_pairs[i]
+                .iter()
+                .map(|&(src, pair)| {
+                    r.sim
+                        .try_edge::<UfabEdge>(src)
+                        .map(|e| e.ep.acked_bytes(pair))
+                        .unwrap_or(0)
+                })
+                .collect();
+        }
+        // Chaos interop: at the fault instant, every guaranteed tenant
+        // whose current route crosses the dead switch re-qualifies
+        // through the same state machine.
+        if !fault_done && now >= tl.fault_at {
+            fault_done = true;
+            let hit: Vec<usize> = mgr
+                .tenants()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == TenantState::Guaranteed)
+                .map(|(i, _)| i)
+                .filter(|&i| {
+                    tenant_pairs[i].iter().any(|&(src, pair)| {
+                        r.sim
+                            .try_edge::<UfabEdge>(src)
+                            .and_then(|e| e.route_of(pair))
+                            .map(|route| r.topo.walk_route(src, &route).contains(&dead_core))
+                            .unwrap_or(false)
+                    })
+                })
+                .collect();
+            for i in hit {
+                mgr.requalify(i, now);
+                requal_total += 1;
+                baselines[i] = tenant_pairs[i]
+                    .iter()
+                    .map(|&(src, pair)| {
+                        r.sim
+                            .try_edge::<UfabEdge>(src)
+                            .map(|e| e.ep.acked_bytes(pair))
+                            .unwrap_or(0)
+                    })
+                    .collect();
+            }
+        }
+        // Qualification poll: a tenant is Guaranteed once every pair's
+        // current path telemetry qualifies and acked bytes moved past
+        // the baseline snapshot.
+        for (i, _) in mgr.qualifying() {
+            let ok = tenant_pairs[i]
+                .iter()
+                .zip(&baselines[i])
+                .all(|(&(src, pair), &base)| {
+                    r.sim
+                        .try_edge::<UfabEdge>(src)
+                        .map(|e| {
+                            e.pair_qualified(pair) == Some(true) && e.ep.acked_bytes(pair) > base
+                        })
+                        .unwrap_or(false)
+                });
+            if ok {
+                mgr.note_qualified(i, now);
+            }
+        }
+        if fsuite.due(now) {
+            fsuite.run(&mgr, now, &r.obs);
+        }
+        if now >= tl.first_arrival && now <= tl.last_arrival {
+            util_sum += mgr.ledger().utilization();
+            util_n += 1;
+        }
+    }
+
+    // 5) Metrics.
+    let mut adm = Percentiles::new();
+    for &l in &plan.decision_latency_ns {
+        adm.add(l as f64);
+    }
+    let mut ttg = Percentiles::new();
+    for t in mgr.tenants() {
+        if let Some(x) = t.ttg_ns {
+            ttg.add(x as f64);
+        }
+    }
+    // Guarantee-violation milliseconds: bulk tenants, 1 ms rate bins
+    // fully inside a Guaranteed span (1 ms entry grace for ramp-up).
+    let rec = r.rec.borrow();
+    let mut viol_ms = 0u64;
+    let mut guaranteed_ms = 0u64;
+    for (i, t) in mgr.tenants().iter().enumerate() {
+        if trace[t.planned.req].kind != DemandKind::Bulk {
+            continue;
+        }
+        let tenant_guar = GUAR_FRACTION
+            * t.planned.tokens_per_vm
+            * mgr.cfg().bu_bps
+            * tenant_pairs[i].len() as f64;
+        let series = rec.tenant_rates.get(&t.fabric_tenant);
+        for &(enter, exit) in &t.guaranteed_spans {
+            let b0 = ((enter + MS) / MS + 1) as usize; // entry grace
+            let b1 = (exit / MS) as usize;
+            for b in b0..b1 {
+                guaranteed_ms += 1;
+                let rate = series.map(|s| s.rate_at(b)).unwrap_or(0.0);
+                if rate < tenant_guar {
+                    viol_ms += 1;
+                }
+            }
+        }
+    }
+    drop(rec);
+
+    let digest = r
+        .sim
+        .det_digest()
+        .map(|d| format!("{d:016x}"))
+        .unwrap_or_default();
+    let epilogue = obs_epilogue(&scale, &r, &format!("churn:{}", policy.label()));
+    let admitted = plan.admitted.len();
+    let rejected = plan.rejected.len();
+    CellOut {
+        row: [
+            policy.label().to_string(),
+            admitted.to_string(),
+            format!("{rejected} ({:.1}%)", plan.rejection_rate() * 100.0),
+            us(adm.percentile(99.0).unwrap_or(0.0)),
+            us(ttg.percentile(99.0).unwrap_or(0.0)),
+            viol_ms.to_string(),
+            f(100.0 * util_sum / util_n.max(1) as f64, 1),
+            requal_total.to_string(),
+            digest,
+        ],
+        epilogue,
+        arrivals: trace.len(),
+        admitted,
+        rejected,
+        reclaimed: mgr.count(TenantState::Reclaimed),
+        overclaim_admitted,
+        fabric_violations: fsuite.violations().len(),
+        fabric_report: fsuite.report(),
+        viol_ms,
+        guaranteed_ms,
+        events: r.sim.stats().events,
+    }
+}
+
+/// Run the churn scenario: both placement policies, in parallel cells.
+pub fn run(scale: Scale) -> Table {
+    let cells: Vec<Job<CellOut>> = [Policy::FirstFit, Policy::LoadSpread]
+        .into_iter()
+        .map(|p| Job::new(format!("churn:{}", p.label()), move || run_cell(scale, p)))
+        .collect();
+    let mut table = Table::new([
+        "policy",
+        "admit",
+        "reject",
+        "adm_p99_us",
+        "ttg_p99_us",
+        "viol_ms",
+        "util_pct",
+        "requal",
+        "digest",
+    ]);
+    for out in run_jobs(cells) {
+        table.row(out.row.clone());
+        if !out.epilogue.is_empty() {
+            print!("{}", out.epilogue);
+        }
+        assert_eq!(
+            out.fabric_violations, 0,
+            "fabric invariants violated:\n{}",
+            out.fabric_report
+        );
+        assert_eq!(
+            out.overclaim_admitted, 0,
+            "an over-subscribed tenant slipped through admission"
+        );
+        assert_eq!(
+            out.reclaimed, out.admitted,
+            "every admitted tenant must be reclaimed by the horizon"
+        );
+        if out.arrivals >= 300 {
+            assert!(
+                out.rejected > 0,
+                "the over-subscribed class must produce rejections \
+                 ({} arrivals, 0 rejected)",
+                out.arrivals
+            );
+        }
+        if out.arrivals >= 1200 {
+            assert!(
+                out.admitted >= 1000,
+                "expected >= 1000 admissions at paper scale, got {} of {}",
+                out.admitted,
+                out.arrivals
+            );
+        }
+        if out.guaranteed_ms >= 200 {
+            let frac = out.viol_ms as f64 / out.guaranteed_ms as f64;
+            assert!(
+                frac < 0.10,
+                "bulk tenants below {GUAR_FRACTION}x guarantee for {:.1}% of \
+                 their guaranteed time ({} of {} ms)",
+                frac * 100.0,
+                out.viol_ms,
+                out.guaranteed_ms
+            );
+        }
+    }
+    emit(
+        "churn_fabric",
+        "Churn: tenant lifecycle at 512-server scale",
+        &table,
+    );
+    table
+}
+
+/// Small fixed cell for `simbench churn`: 64 servers, first-fit, quick
+/// timeline. Returns simulator events processed.
+pub fn bench_cell(seed: u64) -> u64 {
+    let scale = Scale {
+        seed,
+        quick: true,
+        servers: Some(64),
+        ..Scale::default()
+    };
+    let out = run_cell(scale, Policy::FirstFit);
+    assert_eq!(out.fabric_violations, 0, "{}", out.fabric_report);
+    out.events
+}
+
+/// Admission-plan throughput input for `simbench churn`: generate
+/// `target` requests on the paper-512 fabric and plan them, returning
+/// the number of decisions taken.
+pub fn admission_bench(seed: u64, target: usize) -> usize {
+    let topo = build_topo(512, false);
+    let cfg = ChurnCfg {
+        seed,
+        arrivals_per_sec: 20_000.0,
+        first_arrival: 0,
+        last_arrival: (target as f64 / 20_000.0 * 1e9) as Time,
+        mean_lifetime_ns: 5e6,
+        sigma_lifetime: 0.8,
+        min_lifetime: 600 * US,
+        max_lifetime: 20 * MS,
+    };
+    let trace = gen_trace(&cfg);
+    let reqs: Vec<fabric::TenantReq> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, a)| fabric::TenantReq {
+            name: format!("b{i}"),
+            n_vms: a.n_vms,
+            tokens_per_vm: a.tokens_per_vm,
+            arrival: a.arrival,
+            lifetime: a.lifetime,
+        })
+        .collect();
+    let plan = fabric::plan(&topo, &AdmissionCfg::default(), &reqs);
+    plan.admitted.len() + plan.rejected.len()
+}

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod churn;
 pub mod common;
 pub mod fig11;
 pub mod fig12;

@@ -1,0 +1,123 @@
+//! Online invariants over the fabric manager.
+//!
+//! Both implement [`obs::Invariant`] with the [`FabricManager`] as
+//! context, so a scenario drives them from an
+//! [`obs::InvariantSuite<FabricManager>`] alongside the simulator-level
+//! suite.
+
+use crate::manager::FabricManager;
+use netsim::Time;
+use obs::Invariant;
+
+/// Σ committed B_min per link ≤ η·cap, and the live ledger matches a
+/// rebuild from tenant states — the ledger never leaks or overbooks.
+#[derive(Debug, Default)]
+pub struct LedgerConservation;
+
+impl Invariant<FabricManager> for LedgerConservation {
+    fn name(&self) -> &'static str {
+        "fabric_ledger_conservation"
+    }
+
+    fn check(&mut self, mgr: &FabricManager, _t_ns: u64) -> Result<(), String> {
+        mgr.audit()
+    }
+}
+
+/// No tenant sits in `Qualifying` longer than the stagger bound —
+/// qualification must converge (or chaos recovery re-qualify) within
+/// bounded time.
+#[derive(Debug)]
+pub struct QualifyingStagger {
+    bound_ns: Time,
+}
+
+impl QualifyingStagger {
+    /// Flag tenants qualifying for longer than `bound_ns`.
+    pub fn new(bound_ns: Time) -> Self {
+        Self { bound_ns }
+    }
+}
+
+impl Invariant<FabricManager> for QualifyingStagger {
+    fn name(&self) -> &'static str {
+        "fabric_qualifying_stagger"
+    }
+
+    fn check(&mut self, mgr: &FabricManager, t_ns: u64) -> Result<(), String> {
+        let stuck: Vec<String> = mgr
+            .qualifying()
+            .into_iter()
+            .filter(|&(_, since)| t_ns.saturating_sub(since) > self.bound_ns)
+            .map(|(i, since)| {
+                format!(
+                    "{} ({} µs)",
+                    mgr.tenants()[i].planned.name,
+                    (t_ns - since) / 1_000
+                )
+            })
+            .collect();
+        if stuck.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "tenants stuck in Qualifying > {} µs: {}",
+                self.bound_ns / 1_000,
+                stuck.join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{plan, AdmissionCfg, TenantReq};
+    use netsim::builder::LinkSpec;
+    use netsim::{MS, US};
+    use topology::leaf_spine;
+
+    fn setup() -> FabricManager {
+        let t = leaf_spine(
+            2,
+            2,
+            2,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        );
+        let cfg = AdmissionCfg::default();
+        let reqs = vec![TenantReq {
+            name: "a".into(),
+            n_vms: 2,
+            tokens_per_vm: 2.0,
+            arrival: 0,
+            lifetime: 10 * MS,
+        }];
+        let p = plan(&t, &cfg, &reqs);
+        FabricManager::new(&t, cfg, &p, &[0])
+    }
+
+    #[test]
+    fn conservation_holds_through_lifecycle() {
+        let mut m = setup();
+        let mut inv = LedgerConservation;
+        assert!(inv.check(&m, 0).is_ok());
+        m.advance(0);
+        assert!(inv.check(&m, 0).is_ok());
+        m.advance(20 * MS);
+        assert!(inv.check(&m, 20 * MS).is_ok());
+    }
+
+    #[test]
+    fn stagger_flags_stuck_tenants() {
+        let mut m = setup();
+        m.advance(0);
+        let mut inv = QualifyingStagger::new(5 * MS);
+        assert!(inv.check(&m, 4 * MS).is_ok());
+        let err = inv.check(&m, 6 * MS).unwrap_err();
+        assert!(err.contains("a ("), "{err}");
+        m.note_qualified(0, 6 * MS + US);
+        assert!(inv.check(&m, 9 * MS).is_ok());
+    }
+}

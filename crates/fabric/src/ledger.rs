@@ -1,0 +1,459 @@
+//! The hose-model capacity ledger.
+//!
+//! The manager's admission decision is a per-link accounting question:
+//! how much guaranteed bandwidth (hose B_min = tokens × B_u per VM) is
+//! already committed on every link a new VM's traffic can touch, and
+//! does the new hose still fit under the provisioning headroom η?
+//!
+//! A VM's hose is committed *fractionally* along the tiered up-walk
+//! from its host, matching how ECMP spreads the hose in expectation:
+//!
+//! * the access link carries the full hose (fraction 1);
+//! * each of the k ToR uplinks carries hose/k;
+//! * each of the m core uplinks of an agg reached via a ToR uplink
+//!   carries (1/k)·(1/m) of the hose.
+//!
+//! Summed over a tier, the fractions total 1.0 — the ledger never loses
+//! or double-counts capacity (see [`Ledger::conservation`]). On graphs
+//! without tier tags only the access link is accounted, which is the
+//! conservative edge-only hose model.
+
+use netsim::{NodeId, PortNo};
+use std::collections::HashMap;
+use topology::Topo;
+
+/// Node-tier codes used for the up-walk.
+const T_HOST: u8 = 0;
+const T_TOR: u8 = 1;
+const T_AGG: u8 = 2;
+const T_CORE: u8 = 3;
+const T_OTHER: u8 = 4;
+
+/// One undirected link with its running committed-B_min total.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Canonical endpoint (the lower node id).
+    pub node: NodeId,
+    /// Egress port at the canonical endpoint.
+    pub port: PortNo,
+    /// The other endpoint.
+    pub peer: NodeId,
+    /// Link capacity in bits/sec.
+    pub cap_bps: f64,
+    /// Guaranteed bandwidth currently committed on this link (bits/sec).
+    pub committed_bps: f64,
+    /// Whether one endpoint is a host (the access tier).
+    pub access: bool,
+}
+
+impl Link {
+    /// Admissible committed ceiling under headroom `eta`.
+    fn limit(&self, eta: f64) -> f64 {
+        eta * self.cap_bps
+    }
+}
+
+/// Per-link committed-B_min accounting with an admissibility check.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    links: Vec<Link>,
+    /// Both `(node, port)` directions of a link map to its index.
+    by_port: HashMap<(u32, u16), usize>,
+    /// Host → the links (and fractions) its hose commits to.
+    spread: HashMap<u32, Vec<(usize, f64)>>,
+    headroom: f64,
+}
+
+impl Ledger {
+    /// Build an empty ledger over `topo` with provisioning headroom
+    /// `headroom` (η): a link admits new hose while committed ≤ η·cap.
+    ///
+    /// # Panics
+    /// Panics unless `0 < headroom ≤ 1`.
+    pub fn new(topo: &Topo, headroom: f64) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "ledger headroom must be in (0, 1], got {headroom}"
+        );
+        let mut tier = vec![T_OTHER; topo.n_nodes()];
+        for &h in &topo.hosts {
+            tier[h.idx()] = T_HOST;
+        }
+        for &t in &topo.tors {
+            tier[t.idx()] = T_TOR;
+        }
+        for &a in &topo.aggs {
+            tier[a.idx()] = T_AGG;
+        }
+        for &c in &topo.cores {
+            tier[c.idx()] = T_CORE;
+        }
+
+        // Enumerate undirected links once, in node-id order (the ledger
+        // must be identical however the topology was assembled).
+        let mut links = Vec::new();
+        let mut by_port = HashMap::new();
+        for n in 0..topo.n_nodes() {
+            let node = NodeId(n as u32);
+            for a in topo.neighbors(node) {
+                if a.peer.idx() < n {
+                    continue; // recorded from the other side
+                }
+                let idx = links.len();
+                links.push(Link {
+                    node,
+                    port: a.port,
+                    peer: a.peer,
+                    cap_bps: a.cap_bps as f64,
+                    committed_bps: 0.0,
+                    access: tier[n] == T_HOST || tier[a.peer.idx()] == T_HOST,
+                });
+                by_port.insert((node.raw(), a.port.0), idx);
+                by_port.insert((a.peer.raw(), a.peer_port.0), idx);
+            }
+        }
+
+        // Per-host fractional spread along the tiered up-walk.
+        let mut spread = HashMap::new();
+        for &h in &topo.hosts {
+            let mut frac: Vec<(usize, f64)> = Vec::new();
+            let nics = topo.neighbors(h);
+            let f0 = 1.0 / nics.len() as f64;
+            for nic in nics {
+                frac.push((by_port[&(h.raw(), nic.port.0)], f0));
+                let tor = nic.peer;
+                if tier[tor.idx()] != T_TOR {
+                    continue; // untiered graph: access-only accounting
+                }
+                let ups: Vec<_> = topo
+                    .neighbors(tor)
+                    .iter()
+                    .filter(|a| tier[a.peer.idx()] > T_TOR && tier[a.peer.idx()] != T_OTHER)
+                    .collect();
+                if ups.is_empty() {
+                    continue;
+                }
+                let f1 = f0 / ups.len() as f64;
+                for up in ups {
+                    frac.push((by_port[&(tor.raw(), up.port.0)], f1));
+                    let agg = up.peer;
+                    if tier[agg.idx()] != T_AGG {
+                        continue; // ToR wired straight into the core tier
+                    }
+                    let cores: Vec<_> = topo
+                        .neighbors(agg)
+                        .iter()
+                        .filter(|a| tier[a.peer.idx()] == T_CORE)
+                        .collect();
+                    if cores.is_empty() {
+                        continue;
+                    }
+                    let f2 = f1 / cores.len() as f64;
+                    for c in cores {
+                        frac.push((by_port[&(agg.raw(), c.port.0)], f2));
+                    }
+                }
+            }
+            // Fold duplicate links (e.g. two ToR uplinks reaching the
+            // same agg) into one entry each, sorted for determinism.
+            frac.sort_by_key(|&(i, _)| i);
+            frac.dedup_by(|b, a| {
+                if a.0 == b.0 {
+                    a.1 += b.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            spread.insert(h.raw(), frac);
+        }
+
+        Self {
+            links,
+            by_port,
+            spread,
+            headroom,
+        }
+    }
+
+    /// Number of undirected links tracked.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The provisioning headroom η.
+    pub fn headroom(&self) -> f64 {
+        self.headroom
+    }
+
+    /// The tracked links (committed totals included).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The fractional spread a host's hose commits along.
+    ///
+    /// # Panics
+    /// Panics if `host` is not a host of the ledger's topology.
+    pub fn spread_of(&self, host: NodeId) -> &[(usize, f64)] {
+        self.spread
+            .get(&host.raw())
+            .unwrap_or_else(|| panic!("node {host} is not a host of this ledger"))
+    }
+
+    /// Committed bandwidth on the link out of `(node, port)`, if tracked.
+    pub fn committed_on(&self, node: NodeId, port: PortNo) -> Option<f64> {
+        self.by_port
+            .get(&(node.raw(), port.0))
+            .map(|&i| self.links[i].committed_bps)
+    }
+
+    /// Float slack: commitments are sums of exact products, but admission
+    /// near the ceiling must not flip on rounding dust.
+    fn eps(cap_bps: f64) -> f64 {
+        1.0 + cap_bps * 1e-9
+    }
+
+    /// Would committing a `hose_bps` VM on `host` keep every touched
+    /// link at or under η·cap?
+    pub fn admissible(&self, host: NodeId, hose_bps: f64) -> bool {
+        self.spread_of(host).iter().all(|&(i, f)| {
+            let l = &self.links[i];
+            l.committed_bps + f * hose_bps <= l.limit(self.headroom) + Self::eps(l.cap_bps)
+        })
+    }
+
+    /// Commit a `hose_bps` VM on `host`.
+    ///
+    /// # Panics
+    /// Panics if the commitment is not admissible — the manager must
+    /// check [`Ledger::admissible`] first (reject, don't overbook).
+    pub fn commit(&mut self, host: NodeId, hose_bps: f64) {
+        assert!(
+            self.admissible(host, hose_bps),
+            "ledger overbook: committing {hose_bps} bps on host {host} \
+             exceeds η·cap on a touched link"
+        );
+        self.commit_unchecked(host, hose_bps);
+    }
+
+    /// Commit without the admissibility assert (audit replays only).
+    pub(crate) fn commit_unchecked(&mut self, host: NodeId, hose_bps: f64) {
+        let spread = self
+            .spread
+            .get(&host.raw())
+            .unwrap_or_else(|| panic!("node {host} is not a host of this ledger"));
+        for &(i, f) in spread {
+            self.links[i].committed_bps += f * hose_bps;
+        }
+    }
+
+    /// Release a previously committed `hose_bps` VM on `host`.
+    ///
+    /// # Panics
+    /// Panics if the release would drive a link's committed total
+    /// negative (a double release).
+    pub fn release(&mut self, host: NodeId, hose_bps: f64) {
+        let spread = self
+            .spread
+            .get(&host.raw())
+            .unwrap_or_else(|| panic!("node {host} is not a host of this ledger"));
+        for &(i, f) in spread {
+            let l = &mut self.links[i];
+            l.committed_bps -= f * hose_bps;
+            assert!(
+                l.committed_bps >= -Self::eps(l.cap_bps),
+                "ledger double release: link {}:{} committed {} bps after \
+                 releasing {hose_bps} bps on host {host}",
+                l.node,
+                l.port,
+                l.committed_bps
+            );
+            if l.committed_bps < 0.0 {
+                l.committed_bps = 0.0; // absorb float dust
+            }
+        }
+    }
+
+    /// Σ committed ≤ η·cap (and ≥ 0) on every link — the conservation
+    /// half of the ledger invariant.
+    pub fn conservation(&self) -> Result<(), String> {
+        for l in &self.links {
+            let eps = Self::eps(l.cap_bps);
+            if l.committed_bps > l.limit(self.headroom) + eps {
+                return Err(format!(
+                    "link {}:{} ({} ↔ {}) committed {:.0} bps exceeds η·cap = {:.0} bps",
+                    l.node,
+                    l.port,
+                    l.node,
+                    l.peer,
+                    l.committed_bps,
+                    l.limit(self.headroom)
+                ));
+            }
+            if l.committed_bps < -eps {
+                return Err(format!(
+                    "link {}:{} committed {:.0} bps is negative",
+                    l.node, l.port, l.committed_bps
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean committed fraction of the admissible (η·cap) budget over the
+    /// access tier — how subscribed the host edge is.
+    pub fn utilization(&self) -> f64 {
+        let (mut c, mut cap) = (0.0, 0.0);
+        for l in self.links.iter().filter(|l| l.access) {
+            c += l.committed_bps;
+            cap += l.limit(self.headroom);
+        }
+        if cap == 0.0 {
+            0.0
+        } else {
+            c / cap
+        }
+    }
+
+    /// The most subscribed link's committed fraction of η·cap.
+    pub fn max_link_utilization(&self) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.committed_bps / l.limit(self.headroom))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::builder::LinkSpec;
+    use topology::{leaf_spine, three_tier, ThreeTierCfg};
+
+    fn small_leaf_spine() -> Topo {
+        leaf_spine(
+            2,
+            2,
+            2,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        )
+    }
+
+    #[test]
+    fn spread_fractions_sum_to_one_per_tier() {
+        let t = three_tier(ThreeTierCfg::default());
+        let l = Ledger::new(&t, 0.9);
+        for &h in &t.hosts {
+            let spread = l.spread_of(h);
+            let (mut access, mut torup, mut coreup) = (0.0, 0.0, 0.0);
+            for &(i, f) in spread {
+                let link = &l.links()[i];
+                if link.access {
+                    access += f;
+                } else if t.tors.contains(&link.node) || t.tors.contains(&link.peer) {
+                    torup += f;
+                } else {
+                    coreup += f;
+                }
+            }
+            assert!((access - 1.0).abs() < 1e-9, "access {access}");
+            assert!((torup - 1.0).abs() < 1e-9, "torup {torup}");
+            assert!((coreup - 1.0).abs() < 1e-9, "coreup {coreup}");
+        }
+    }
+
+    #[test]
+    fn commit_release_roundtrip_conserves() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        let h = t.hosts[0];
+        l.commit(h, 2e9);
+        l.commit(h, 1e9);
+        assert!(l.utilization() > 0.0);
+        assert!(l.conservation().is_ok());
+        l.release(h, 1e9);
+        l.release(h, 2e9);
+        assert!(l.conservation().is_ok());
+        assert!(l.utilization().abs() < 1e-12);
+        for link in l.links() {
+            assert!(link.committed_bps.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn admission_respects_access_headroom() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        let h = t.hosts[0];
+        // 10G access, η = 0.9 → 9G admissible.
+        assert!(l.admissible(h, 8e9));
+        assert!(!l.admissible(h, 9.5e9));
+        l.commit(h, 8e9);
+        assert!(!l.admissible(h, 2e9));
+        // A different host still has room.
+        assert!(l.admissible(t.hosts[1], 8e9));
+    }
+
+    #[test]
+    fn fabric_tier_fills_before_access_on_oversubscribed_core() {
+        // leaf_spine with skinny uplinks: 2 hosts × 10G behind 2 × 2G
+        // spines — the ToR uplink pool binds long before access links.
+        let t = leaf_spine(
+            2,
+            2,
+            2,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(2, 1000),
+            1500,
+        );
+        let mut l = Ledger::new(&t, 1.0);
+        let h = t.hosts[0];
+        // Uplink pool per leaf = 2 × 2G = 4G; each VM spreads hose/2 on
+        // each uplink, so 4G of hose saturates the pool.
+        assert!(l.admissible(h, 4e9));
+        l.commit(h, 4e9);
+        assert!(!l.admissible(h, 1e9), "uplink pool must be full");
+        assert!(l.conservation().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger overbook")]
+    fn overbooking_commit_panics() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        l.commit(t.hosts[0], 20e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        l.commit(t.hosts[0], 2e9);
+        l.release(t.hosts[0], 2e9);
+        l.release(t.hosts[0], 2e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a host")]
+    fn non_host_rejected() {
+        let t = small_leaf_spine();
+        let l = Ledger::new(&t, 0.9);
+        l.spread_of(t.tors[0]);
+    }
+
+    #[test]
+    fn ledger_is_deterministic() {
+        let t1 = three_tier(ThreeTierCfg::default());
+        let t2 = three_tier(ThreeTierCfg::default());
+        let l1 = Ledger::new(&t1, 0.9);
+        let l2 = Ledger::new(&t2, 0.9);
+        assert_eq!(l1.n_links(), l2.n_links());
+        for &h in &t1.hosts {
+            assert_eq!(l1.spread_of(h), l2.spread_of(h));
+        }
+    }
+}

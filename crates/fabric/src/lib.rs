@@ -1,0 +1,40 @@
+//! The fabric manager: multi-tenant vFabric provisioning, admission
+//! control and lifecycle management over any [`topology`] graph.
+//!
+//! The paper's deliverable is a *predictable vFabric* — a hose-model
+//! guarantee (B_min per VM) that the provider must be able to admit,
+//! qualify, and reclaim as tenants come and go. This crate owns that
+//! control plane:
+//!
+//! * [`ledger`] — per-link committed-B_min accounting with an
+//!   admissibility check (commit fractionally along the ECMP up-walk,
+//!   admit only while every touched link stays under η·cap);
+//! * [`place`] — first-fit / load-spread VM placement gated by the
+//!   ledger, all-or-nothing per tenant, anti-affinity within a tenant;
+//! * [`manager`] — the admission queue and per-tenant state machine
+//!   `Requested → Admitted → Qualifying → Guaranteed → Departing →
+//!   Reclaimed`, split into a deterministic [`plan`] pre-pass and a
+//!   run-time replay ([`FabricManager`]) driven by μFAB-E's
+//!   qualification signal;
+//! * [`invariants`] — online checks (ledger conservation, bounded
+//!   qualifying time) pluggable into an [`obs::InvariantSuite`].
+//!
+//! Determinism: the plan pass is pure control-plane arithmetic over the
+//! arrival trace, and the replay consumes only the simulation clock and
+//! qualification edges — so a churn scenario is byte-identical at any
+//! `--jobs N`.
+
+#![deny(missing_docs)]
+
+pub mod invariants;
+pub mod ledger;
+pub mod manager;
+pub mod place;
+
+pub use invariants::{LedgerConservation, QualifyingStagger};
+pub use ledger::Ledger;
+pub use manager::{
+    plan, AdmissionCfg, AdvanceOut, FabricManager, Plan, PlannedTenant, Rejection, TenantReq,
+    TenantRun, TenantState,
+};
+pub use place::{Placer, Policy, RejectReason};

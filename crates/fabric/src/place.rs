@@ -1,0 +1,301 @@
+//! VM placement over hosts, gated by the capacity ledger.
+//!
+//! Placement is all-or-nothing per tenant: either every requested VM
+//! gets a host slot whose ledger commitment is admissible, or nothing
+//! is committed and the tenant is rejected with a reason. Within one
+//! tenant the placer enforces anti-affinity — at most one VM per host —
+//! so a tenant's ring pairs always cross the fabric and exercise the
+//! qualification machinery.
+
+use crate::ledger::Ledger;
+use netsim::NodeId;
+use std::collections::HashMap;
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Scan hosts in id order, take the first that fits.
+    FirstFit,
+    /// Take the host with the least committed hose bandwidth
+    /// (ties: fewest VMs, then lowest id).
+    LoadSpread,
+}
+
+impl Policy {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::FirstFit => "first_fit",
+            Policy::LoadSpread => "load_spread",
+        }
+    }
+}
+
+/// Why a placement request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every host is at its VM-slot cap (or anti-affinity exhausted hosts).
+    NoSlots,
+    /// Slots exist but some VM's hose does not fit under η·cap.
+    NoCapacity,
+}
+
+impl RejectReason {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::NoSlots => "no_slots",
+            RejectReason::NoCapacity => "no_capacity",
+        }
+    }
+}
+
+/// The placement engine: per-host slot occupancy plus committed hose
+/// tallies, always consulted together with the [`Ledger`].
+#[derive(Debug, Clone)]
+pub struct Placer {
+    hosts: Vec<NodeId>,
+    policy: Policy,
+    max_vms_per_host: usize,
+    /// VM count per host (indexed like `hosts`).
+    vms: Vec<usize>,
+    /// Committed hose bps per host (indexed like `hosts`).
+    hose: Vec<f64>,
+    host_idx: HashMap<u32, usize>,
+}
+
+impl Placer {
+    /// A placer over `hosts` with the given policy and per-host slot cap.
+    pub fn new(hosts: &[NodeId], policy: Policy, max_vms_per_host: usize) -> Self {
+        assert!(max_vms_per_host >= 1, "need at least one VM slot per host");
+        let host_idx = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.raw(), i))
+            .collect();
+        Self {
+            hosts: hosts.to_vec(),
+            policy,
+            max_vms_per_host,
+            vms: vec![0; hosts.len()],
+            hose: vec![0.0; hosts.len()],
+            host_idx,
+        }
+    }
+
+    /// Total VMs currently placed.
+    pub fn total_vms(&self) -> usize {
+        self.vms.iter().sum()
+    }
+
+    /// VMs currently on `host`.
+    pub fn vms_on(&self, host: NodeId) -> usize {
+        self.vms[self.host_idx[&host.raw()]]
+    }
+
+    fn pick(&self, ledger: &Ledger, hose_bps: f64, used: &[NodeId]) -> Result<usize, RejectReason> {
+        let mut best: Option<usize> = None;
+        let mut saw_slot = false;
+        for i in 0..self.hosts.len() {
+            if self.vms[i] >= self.max_vms_per_host || used.contains(&self.hosts[i]) {
+                continue;
+            }
+            saw_slot = true;
+            if !ledger.admissible(self.hosts[i], hose_bps) {
+                continue;
+            }
+            match self.policy {
+                Policy::FirstFit => return Ok(i),
+                Policy::LoadSpread => {
+                    let better = match best {
+                        None => true,
+                        Some(b) => (self.hose[i], self.vms[i], i) < (self.hose[b], self.vms[b], b),
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best.ok_or(if saw_slot {
+            RejectReason::NoCapacity
+        } else {
+            RejectReason::NoSlots
+        })
+    }
+
+    /// Place `n_vms` VMs of `hose_bps` each, committing the ledger for
+    /// every VM, or roll everything back and return the reason.
+    pub fn place(
+        &mut self,
+        ledger: &mut Ledger,
+        n_vms: usize,
+        hose_bps: f64,
+    ) -> Result<Vec<NodeId>, RejectReason> {
+        let mut placed: Vec<NodeId> = Vec::with_capacity(n_vms);
+        for _ in 0..n_vms {
+            match self.pick(ledger, hose_bps, &placed) {
+                Ok(i) => {
+                    let h = self.hosts[i];
+                    ledger.commit(h, hose_bps);
+                    self.vms[i] += 1;
+                    self.hose[i] += hose_bps;
+                    placed.push(h);
+                }
+                Err(reason) => {
+                    // All-or-nothing: unwind the partial placement.
+                    for &h in &placed {
+                        let j = self.host_idx[&h.raw()];
+                        ledger.release(h, hose_bps);
+                        self.vms[j] -= 1;
+                        self.hose[j] -= hose_bps;
+                    }
+                    return Err(reason);
+                }
+            }
+        }
+        Ok(placed)
+    }
+
+    /// Replay a placement decided earlier by [`crate::plan`]: commit the
+    /// exact hosts without re-running policy.
+    ///
+    /// # Panics
+    /// Panics if any host is unknown, slot-capped, or inadmissible —
+    /// replay must match the plan exactly.
+    pub fn place_fixed(&mut self, ledger: &mut Ledger, hosts: &[NodeId], hose_bps: f64) {
+        for &h in hosts {
+            let i = *self
+                .host_idx
+                .get(&h.raw())
+                .unwrap_or_else(|| panic!("replayed host {h} unknown to placer"));
+            assert!(
+                self.vms[i] < self.max_vms_per_host,
+                "replayed placement on {h} exceeds slot cap"
+            );
+            ledger.commit(h, hose_bps);
+            self.vms[i] += 1;
+            self.hose[i] += hose_bps;
+        }
+    }
+
+    /// Release a departed tenant's VMs.
+    pub fn release(&mut self, ledger: &mut Ledger, hosts: &[NodeId], hose_bps: f64) {
+        for &h in hosts {
+            let i = self.host_idx[&h.raw()];
+            assert!(self.vms[i] > 0, "releasing VM on empty host {h}");
+            ledger.release(h, hose_bps);
+            self.vms[i] -= 1;
+            self.hose[i] -= hose_bps;
+            if self.hose[i] < 0.0 {
+                self.hose[i] = 0.0; // float dust
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::builder::LinkSpec;
+    use topology::{leaf_spine, Topo};
+
+    fn topo() -> Topo {
+        // 2 leaves × 4 hosts, 10G everywhere.
+        leaf_spine(
+            2,
+            2,
+            4,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        )
+    }
+
+    #[test]
+    fn first_fit_packs_in_host_order_with_anti_affinity() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 4);
+        let placed = p.place(&mut ledger, 3, 1e9).unwrap();
+        assert_eq!(placed, vec![t.hosts[0], t.hosts[1], t.hosts[2]]);
+        // Second tenant starts over from host 0 — anti-affinity is
+        // per-tenant, not global.
+        let placed2 = p.place(&mut ledger, 2, 1e9).unwrap();
+        assert_eq!(placed2, vec![t.hosts[0], t.hosts[1]]);
+        assert_eq!(p.total_vms(), 5);
+    }
+
+    #[test]
+    fn load_spread_balances_vm_counts() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::LoadSpread, 4);
+        for _ in 0..4 {
+            p.place(&mut ledger, 2, 1e9).unwrap();
+        }
+        // 8 VMs over 8 hosts: exactly one each.
+        for &h in &t.hosts {
+            assert_eq!(p.vms_on(h), 1, "host {h}");
+        }
+    }
+
+    #[test]
+    fn rollback_on_partial_failure_is_clean() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 1);
+        // 9 VMs > 8 hosts with anti-affinity → NoSlots, nothing committed.
+        let err = p.place(&mut ledger, 9, 1e9).unwrap_err();
+        assert_eq!(err, RejectReason::NoSlots);
+        assert_eq!(p.total_vms(), 0);
+        assert!(ledger.utilization().abs() < 1e-12);
+        // The fabric is untouched: a feasible tenant still fits.
+        assert!(p.place(&mut ledger, 8, 1e9).is_ok());
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_no_capacity() {
+        // Fat 40G uplinks so the host access links (10G × 0.9 = 9G
+        // admissible) are the binding constraint.
+        let t = leaf_spine(
+            2,
+            2,
+            4,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(40, 1000),
+            1500,
+        );
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 8);
+        for _ in 0..8 {
+            p.place(&mut ledger, 1, 8.5e9).unwrap();
+        }
+        let err = p.place(&mut ledger, 1, 8.5e9).unwrap_err();
+        assert_eq!(err, RejectReason::NoCapacity);
+    }
+
+    #[test]
+    fn release_makes_room_again() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 1);
+        let a = p.place(&mut ledger, 8, 1e9).unwrap();
+        assert!(p.place(&mut ledger, 1, 1e9).is_err());
+        p.release(&mut ledger, &a, 1e9);
+        assert_eq!(p.total_vms(), 0);
+        assert!(p.place(&mut ledger, 8, 1e9).is_ok());
+    }
+
+    #[test]
+    fn place_fixed_replays_exactly() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::LoadSpread, 4);
+        let hosts = vec![t.hosts[3], t.hosts[5]];
+        p.place_fixed(&mut ledger, &hosts, 2e9);
+        assert_eq!(p.vms_on(t.hosts[3]), 1);
+        assert_eq!(p.vms_on(t.hosts[5]), 1);
+        assert!(ledger.conservation().is_ok());
+    }
+}

@@ -24,11 +24,13 @@ pub enum Category {
     Invariant = 7,
     /// Anything else (harness milestones, debug marks).
     Custom = 8,
+    /// Fabric-manager tenant lifecycle transitions.
+    Tenant = 9,
 }
 
 impl Category {
     /// All categories, for iteration.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; 10] = [
         Category::Enqueue,
         Category::Dequeue,
         Category::Drop,
@@ -38,6 +40,7 @@ impl Category {
         Category::Migration,
         Category::Invariant,
         Category::Custom,
+        Category::Tenant,
     ];
 
     /// The category's bit in a [`CategoryMask`].
@@ -57,6 +60,7 @@ impl Category {
             Category::Migration => "migration",
             Category::Invariant => "invariant",
             Category::Custom => "custom",
+            Category::Tenant => "tenant",
         }
     }
 
@@ -214,6 +218,15 @@ pub enum Event {
         /// Second payload word.
         b: u64,
     },
+    /// Fabric-manager tenant lifecycle transition.
+    Tenant {
+        /// Fabric tenant id (`TenantId::raw()`).
+        tenant: u32,
+        /// New lifecycle state label.
+        state: &'static str,
+        /// State-specific payload (e.g. latency ns, reject reason code).
+        aux: u64,
+    },
 }
 
 impl Event {
@@ -229,6 +242,7 @@ impl Event {
             Event::Migration { .. } => Category::Migration,
             Event::Invariant { .. } => Category::Invariant,
             Event::Custom { .. } => Category::Custom,
+            Event::Tenant { .. } => Category::Tenant,
         }
     }
 
@@ -315,6 +329,12 @@ impl Event {
             Event::Custom { label, a, b } => {
                 write!(out, "\"label\":\"{label}\",\"a\":{a},\"b\":{b}")
             }
+            Event::Tenant { tenant, state, aux } => {
+                write!(
+                    out,
+                    "\"tenant\":{tenant},\"state\":\"{state}\",\"aux\":{aux}"
+                )
+            }
         };
     }
 }
@@ -356,5 +376,18 @@ mod tests {
         let mut s = String::new();
         ev.write_json_fields(&mut s);
         assert!(s.contains("\"reason\":\"overflow\""), "{s}");
+    }
+
+    #[test]
+    fn tenant_events_serialize() {
+        let ev = Event::Tenant {
+            tenant: 7,
+            state: "guaranteed",
+            aux: 123,
+        };
+        assert_eq!(ev.category(), Category::Tenant);
+        let mut s = String::new();
+        ev.write_json_fields(&mut s);
+        assert_eq!(s, "\"tenant\":7,\"state\":\"guaranteed\",\"aux\":123");
     }
 }

@@ -107,6 +107,21 @@ pub fn exp_interarrival<R: Rng>(rng: &mut R, mean_ns: f64) -> u64 {
     (-mean_ns * u.ln()).max(1.0) as u64
 }
 
+/// One lognormal sample with parameters `mu`/`sigma` of the underlying
+/// normal (Box–Muller; used for tenant lifetimes in the churn model).
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// The `mu` that gives a lognormal the target `mean` at shape `sigma`
+/// (mean = exp(μ + σ²/2), so μ = ln(mean) − σ²/2).
+pub fn lognormal_mu_for_mean(mean: f64, sigma: f64) -> f64 {
+    mean.ln() - sigma * sigma / 2.0
+}
+
 /// The per-pair flow arrival rate (flows/sec) that produces `load`
 /// (fraction of `link_bps`) with mean flow size `mean_bytes`, spread over
 /// `n_sources` sources sharing the link.
@@ -179,5 +194,56 @@ mod tests {
     #[should_panic(expected = "CDF must end at 1.0")]
     fn bad_cdf_rejected() {
         Empirical::new(vec![(1.0, 0.4)]);
+    }
+
+    /// Fixed-seed mean/p50/p99 of each paper-CDF sampler, pinned against
+    /// the analytic values so churn demand mixes can't drift silently.
+    fn sampled_stats(d: &Empirical, seed: u64, n: usize) -> (f64, f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        (mean, xs[n / 2], xs[n * 99 / 100])
+    }
+
+    #[test]
+    fn websearch_stats_are_pinned() {
+        let d = websearch_flow_sizes();
+        let (mean, p50, p99) = sampled_stats(&d, 7, 200_000);
+        assert!((mean - d.mean()).abs() / d.mean() < 0.05, "mean {mean:.0}");
+        let a50 = d.quantile(0.5);
+        let a99 = d.quantile(0.99);
+        assert!((p50 - a50).abs() / a50 < 0.05, "p50 {p50:.0} vs {a50:.0}");
+        assert!((p99 - a99).abs() / a99 < 0.07, "p99 {p99:.0} vs {a99:.0}");
+    }
+
+    #[test]
+    fn kv_stats_are_pinned() {
+        let d = kv_object_sizes();
+        let (mean, p50, p99) = sampled_stats(&d, 7, 200_000);
+        assert!((mean - d.mean()).abs() / d.mean() < 0.05, "mean {mean:.0}");
+        let a50 = d.quantile(0.5);
+        let a99 = d.quantile(0.99);
+        assert!((p50 - a50).abs() / a50 < 0.05, "p50 {p50:.0} vs {a50:.0}");
+        assert!((p99 - a99).abs() / a99 < 0.07, "p99 {p99:.0} vs {a99:.0}");
+    }
+
+    #[test]
+    fn lognormal_mean_and_median_match_analytic() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (mean_target, sigma) = (5.0e6, 0.8);
+        let mu = lognormal_mu_for_mean(mean_target, sigma);
+        let n = 200_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, mu, sigma)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - mean_target).abs() / mean_target < 0.03,
+            "mean {mean:.0}"
+        );
+        // Median of a lognormal is exp(μ).
+        let med = xs[n / 2];
+        assert!((med - mu.exp()).abs() / mu.exp() < 0.03, "median {med:.0}");
+        assert!(xs[0] > 0.0);
     }
 }

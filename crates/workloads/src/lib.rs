@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 
+pub mod churn;
 pub mod dists;
 pub mod driver;
 pub mod ebs;

@@ -11,6 +11,7 @@
 
 pub use baselines;
 pub use experiments;
+pub use fabric;
 pub use metrics;
 pub use netsim;
 pub use telemetry;

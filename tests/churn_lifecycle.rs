@@ -1,0 +1,157 @@
+//! Full-stack fabric-manager lifecycle: plan → place → run traffic →
+//! qualify off μFAB-E telemetry → depart → reclaim, with the capacity
+//! ledger audited throughout and an over-subscribed request refused at
+//! admission.
+
+use experiments::harness::{Runner, SystemKind, SLICE};
+use fabric::{AdmissionCfg, FabricManager, RejectReason, TenantReq, TenantState};
+use netsim::{NodeId, PairId, Time, MS, US};
+use topology::TestbedCfg;
+use ufab::{FabricSpec, UfabEdge};
+use workloads::churn::{ChurnDriver, PairDemand, TenantTraffic};
+use workloads::driver::Driver;
+
+const STEP: Time = 250 * US;
+
+#[test]
+fn tenant_lifecycle_end_to_end() {
+    // 8-host 10 G testbed; access admits 0.9 × 10 G = 9 G of hose.
+    let topo = topology::testbed(TestbedCfg::default());
+    let cfg = AdmissionCfg::default();
+    let reqs = vec![
+        TenantReq {
+            name: "a".into(),
+            n_vms: 2,
+            tokens_per_vm: 2.0, // 1 G hose — admissible
+            arrival: 0,
+            lifetime: 8 * MS,
+        },
+        TenantReq {
+            name: "over".into(),
+            n_vms: 1,
+            tokens_per_vm: 224.0, // 112 G hose — no access link admits it
+            arrival: 50 * US,
+            lifetime: 8 * MS,
+        },
+        TenantReq {
+            name: "b".into(),
+            n_vms: 3,
+            tokens_per_vm: 1.0, // 0.5 G hose — admissible
+            arrival: 100 * US,
+            lifetime: 8 * MS,
+        },
+    ];
+    let plan = fabric::plan(&topo, &cfg, &reqs);
+    assert_eq!(plan.admitted.len(), 2);
+    assert_eq!(plan.rejected.len(), 1);
+    assert_eq!(plan.rejected[0].req, 1, "the over-subscribed request");
+    assert_eq!(plan.rejected[0].reason, RejectReason::NoCapacity);
+
+    // Ring pairs over each admitted tenant's VMs, steady traffic at the
+    // pair guarantee for the whole lifetime.
+    let mut spec = FabricSpec::new(cfg.bu_bps);
+    let mut fabric_ids = Vec::new();
+    let mut tenant_pairs: Vec<Vec<(NodeId, PairId)>> = Vec::new();
+    let mut programs = Vec::new();
+    for p in &plan.admitted {
+        let tid = spec.add_tenant(&p.name, p.tokens_per_vm);
+        let vms: Vec<_> = p.hosts.iter().map(|&h| spec.add_vm(tid, h)).collect();
+        let guar = p.tokens_per_vm * cfg.bu_bps;
+        let mut pairs = Vec::new();
+        let mut prog = Vec::new();
+        for i in 0..vms.len() {
+            let pair = spec.add_pair(vms[i], vms[(i + 1) % vms.len()]);
+            pairs.push((p.hosts[i], pair));
+            prog.push((p.hosts[i], pair, PairDemand::Steady { bps: guar }));
+        }
+        fabric_ids.push(tid.raw());
+        tenant_pairs.push(pairs);
+        programs.push(TenantTraffic {
+            tag: tid.raw(),
+            start: p.decision,
+            stop: p.depart,
+            pairs: prog,
+        });
+    }
+    let grace = cfg.reclaim_grace;
+    let mut mgr = FabricManager::new(&topo, cfg, &plan, &fabric_ids);
+    let mut r = Runner::new(topo, spec, SystemKind::Ufab, 7, None, MS);
+    let mut driver = ChurnDriver::new(programs, 7, 0);
+
+    let mut baselines: Vec<Vec<u64>> = vec![Vec::new(); mgr.tenants().len()];
+    let snapshot = |r: &Runner, pairs: &[(NodeId, PairId)]| -> Vec<u64> {
+        pairs
+            .iter()
+            .map(|&(src, pair)| {
+                r.sim
+                    .try_edge::<UfabEdge>(src)
+                    .map(|e| e.ep.acked_bytes(pair))
+                    .unwrap_or(0)
+            })
+            .collect()
+    };
+    let horizon = 8 * MS + 20 * MS;
+    let mut now = 0;
+    let mut saw_qualified_signal = false;
+    while now < horizon {
+        now += STEP;
+        {
+            let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+            r.run(now, SLICE, &mut drivers);
+        }
+        let out = mgr.advance(now);
+        for &i in &out.admitted {
+            baselines[i] = snapshot(&r, &tenant_pairs[i]);
+        }
+        for (i, _) in mgr.qualifying() {
+            let ok = tenant_pairs[i]
+                .iter()
+                .zip(&baselines[i])
+                .all(|(&(src, pair), &base)| {
+                    r.sim
+                        .try_edge::<UfabEdge>(src)
+                        .map(|e| {
+                            e.pair_qualified(pair) == Some(true) && e.ep.acked_bytes(pair) > base
+                        })
+                        .unwrap_or(false)
+                });
+            if ok {
+                saw_qualified_signal = true;
+                mgr.note_qualified(i, now);
+            }
+        }
+        if now % MS == 0 {
+            mgr.audit().expect("ledger stays conserved through churn");
+        }
+        if mgr.count(TenantState::Reclaimed) == 2 {
+            break;
+        }
+    }
+
+    assert!(saw_qualified_signal, "μFAB-E must report qualification");
+    assert_eq!(
+        mgr.count(TenantState::Reclaimed),
+        2,
+        "both tenants reclaimed"
+    );
+    assert_eq!(mgr.n_rejected(), 1);
+    for t in mgr.tenants() {
+        assert_eq!(t.state, TenantState::Reclaimed);
+        assert!(
+            t.ttg_ns.is_some(),
+            "{} never reached Guaranteed",
+            t.planned.name
+        );
+        let (enter, exit) = t.guaranteed_spans[0];
+        assert!(enter < exit && exit == t.planned.depart);
+        assert!(
+            t.planned.depart + grace <= now,
+            "reclaim happened only after the teardown grace"
+        );
+    }
+    mgr.audit().expect("final ledger is clean");
+    assert!(
+        mgr.ledger().utilization() < 1e-9,
+        "all committed capacity returned to the ledger"
+    );
+}
