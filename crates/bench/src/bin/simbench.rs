@@ -17,6 +17,13 @@
 //! qualification polling and the ledger audit in the loop). Its
 //! trajectory file is `BENCH_PR5.json`.
 //!
+//! The `ops` suite measures the fabricd control-plane service: resize
+//! round-trips/sec, snapshot renders/sec and restores/sec on a
+//! populated 64-server service, and the end-to-end ops cell (simulator
+//! events/sec with the op-stream replay, a mid-run snapshot/restore and
+//! the digest check in the loop). Its trajectory file is
+//! `BENCH_PR6.json`.
+//!
 //! `--smoke` runs a seconds-scale subset (short horizon, no end-to-end
 //! runs) for CI: it exercises every code path and writes the JSON file,
 //! but the numbers are not meant to be compared.
@@ -25,7 +32,7 @@ use bench::report::{git_rev, write_json, BenchRecord};
 use bench::scenario::{run_testbed_permutation, run_testbed_permutation_chaos_idle};
 use experiments::executor;
 use experiments::scenarios::common::Scale;
-use experiments::scenarios::{churn, fig11};
+use experiments::scenarios::{churn, fig11, ops};
 use netsim::MS;
 use std::time::Instant;
 
@@ -34,10 +41,12 @@ fn main() {
     let mut out: Option<String> = None;
     let mut par_jobs = 4usize;
     let mut churn_mode = false;
+    let mut ops_mode = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "churn" => churn_mode = true,
+            "ops" => ops_mode = true,
             "--smoke" => smoke = true,
             "--out" => out = Some(it.next().expect("--out needs a path")),
             "--jobs" => {
@@ -48,7 +57,7 @@ fn main() {
                     .expect("jobs must be an integer");
             }
             "--help" | "-h" => {
-                println!("usage: simbench [churn] [--smoke] [--jobs N] [--out PATH]");
+                println!("usage: simbench [churn|ops] [--smoke] [--jobs N] [--out PATH]");
                 return;
             }
             s => {
@@ -58,7 +67,9 @@ fn main() {
         }
     }
     let out = out.unwrap_or_else(|| {
-        if churn_mode {
+        if ops_mode {
+            "BENCH_PR6.json".to_string()
+        } else if churn_mode {
             "BENCH_PR5.json".to_string()
         } else {
             "BENCH_PR2.json".to_string()
@@ -66,6 +77,106 @@ fn main() {
     });
     let rev = git_rev();
     let mut records = Vec::new();
+
+    if ops_mode {
+        // (1) Resize round-trips on a populated 64-server service: the
+        // delta commit/release against the live ledger, queue pacing
+        // and the closing conservation audit included.
+        let iters = if smoke { 200 } else { 2_000 };
+        let reps = if smoke { 1 } else { 3 };
+        let mut best_ms = f64::INFINITY;
+        let mut applied = 0usize;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            applied = ops::resize_bench(1, iters);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] ops_resize: {applied} ops in {best_ms:.0} ms ({:.0} ops/sec)",
+            applied as f64 / (best_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "ops_resize".to_string(),
+            events_per_sec: applied as f64 / (best_ms / 1e3),
+            wall_ms: best_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        // (2) Snapshot renders: full-state serialization with byte-exact
+        // float encoding.
+        let iters = if smoke { 50 } else { 500 };
+        let mut snap_ms = f64::INFINITY;
+        let mut bytes = 0usize;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            bytes = ops::snapshot_bench(1, iters);
+            snap_ms = snap_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] ops_snapshot: {iters} renders ({bytes} B) in {snap_ms:.0} ms \
+             ({:.0} renders/sec)",
+            iters as f64 / (snap_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "ops_snapshot".to_string(),
+            events_per_sec: iters as f64 / (snap_ms / 1e3),
+            wall_ms: snap_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        // (3) Restores: parse + ledger/placer rebuild + conservation
+        // audit + digest check per iteration.
+        let iters = if smoke { 20 } else { 200 };
+        let mut rst_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            ops::restore_bench(1, iters);
+            rst_ms = rst_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] ops_restore: {iters} restores in {rst_ms:.0} ms ({:.0} restores/sec)",
+            iters as f64 / (rst_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "ops_restore".to_string(),
+            events_per_sec: iters as f64 / (rst_ms / 1e3),
+            wall_ms: rst_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        // (4) End-to-end ops cell: 64-server mixed-script run with the
+        // op replay, qualification polling, mid-run snapshot/restore
+        // and the reference-digest assert in the loop.
+        let reps = if smoke { 1 } else { 2 };
+        let mut cell_ms = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            events = ops::bench_cell(1);
+            cell_ms = cell_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "[simbench] ops_cell: {events} events in {cell_ms:.0} ms ({:.0} events/sec)",
+            events as f64 / (cell_ms / 1e3)
+        );
+        records.push(BenchRecord {
+            bench: "ops_cell".to_string(),
+            events_per_sec: events as f64 / (cell_ms / 1e3),
+            wall_ms: cell_ms,
+            jobs: 1,
+            git_rev: rev.clone(),
+        });
+
+        if let Err(e) = write_json(&out, &records) {
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[simbench] wrote {out}");
+        return;
+    }
 
     if churn_mode {
         // (1) Admission-plan throughput: generate a paper-512 request

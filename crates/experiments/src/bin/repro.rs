@@ -28,7 +28,7 @@
 
 use experiments::scenarios::{
     ablation, chaos, churn, common::Scale, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
-    fig20, fig4, fig5, tables, tokens_demo,
+    fig20, fig4, fig5, ops, tables, tokens_demo,
 };
 
 /// Every scenario `repro` accepts, with the one-line description printed
@@ -79,8 +79,12 @@ const SCENARIOS: &[(&str, &str)] = &[
         "fabric manager: tenant admission/qualification churn at 512 servers (opt-in)",
     ),
     (
+        "ops",
+        "fabricd service: resize/drain/snapshot-restore operator drill (opt-in)",
+    ),
+    (
         "all",
-        "every paper figure/table above (excludes chaos, churn)",
+        "every paper figure/table above (excludes chaos, churn, ops)",
     ),
 ];
 
@@ -88,11 +92,14 @@ fn usage() -> String {
     let names: Vec<&str> = SCENARIOS.iter().map(|&(n, _)| n).collect();
     format!(
         "usage: repro [SCENARIO...] [--list] [--full] [--seed N] [--servers N] [--jobs N] \
-         [--trace [EVENTS]] [--check-invariants] [--plan PRESET]\n\
+         [--trace [EVENTS]] [--check-invariants] [--plan PRESET] [--ops-script PRESET] \
+         [--snapshot-at US]\n\
          scenarios: {}\n\
-         chaos presets (--plan): {} all",
+         chaos presets (--plan): {} all\n\
+         ops scripts (--ops-script): {}   --snapshot-at: restore instant in µs (0 disables)",
         names.join(" "),
-        chaos::PRESETS.join(" ")
+        chaos::PRESETS.join(" "),
+        ops::PRESETS.join(" ")
     )
 }
 
@@ -131,6 +138,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default();
     let mut plan: Option<String> = None;
+    let mut ops_script = "mixed".to_string();
+    let mut snapshot_at: Option<u64> = None;
     let mut scenarios: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -163,6 +172,24 @@ fn main() {
                 scale.trace = Some(cap);
             }
             "--check-invariants" => scale.check_invariants = true,
+            "--ops-script" => {
+                let Some(p) = it.next() else {
+                    eprintln!("error: --ops-script needs a preset name\n{}", usage());
+                    std::process::exit(EXIT_USAGE);
+                };
+                if !ops::PRESETS.contains(&p.as_str()) {
+                    eprintln!(
+                        "error: --ops-script '{p}' is not a preset (have: {})",
+                        ops::PRESETS.join(" ")
+                    );
+                    std::process::exit(EXIT_USAGE);
+                }
+                ops_script = p.clone();
+            }
+            "--snapshot-at" => {
+                // µs of simulated time; 0 disables the restore drill.
+                snapshot_at = Some(int_arg("--snapshot-at", it.next(), 0, 10_000_000));
+            }
             "--plan" => {
                 let Some(p) = it.next() else {
                     eprintln!("error: --plan needs a preset name\n{}", usage());
@@ -253,6 +280,9 @@ fn main() {
     }
     if scenarios.iter().any(|s| s == "churn") {
         churn::run(scale);
+    }
+    if scenarios.iter().any(|s| s == "ops") {
+        ops::run(scale, &ops_script, snapshot_at);
     }
     eprintln!("\n[repro finished in {:.1}s]", t0.elapsed().as_secs_f64());
     if scale.check_invariants {

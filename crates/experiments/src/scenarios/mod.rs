@@ -15,5 +15,6 @@ pub mod fig18;
 pub mod fig20;
 pub mod fig4;
 pub mod fig5;
+pub mod ops;
 pub mod tables;
 pub mod tokens_demo;

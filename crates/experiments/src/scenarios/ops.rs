@@ -1,0 +1,803 @@
+//! `repro ops` — the fabricd control-plane service operated live on the
+//! 512-server FatTree: churn workload plus a scripted operator timeline
+//! (mid-run tenant resizes, cordon-and-drain, snapshot/kill/restore).
+//!
+//! Two runs of the same op stream happen per cell:
+//!
+//! 1. **Reference pre-pass** (pure control plane, no simulator): the
+//!    churn trace plus the operator script is played into a
+//!    [`FabricService`] end to end, *uninterrupted*. This run both
+//!    records the op stream — operator targets are selected from
+//!    service state at the scripted instants — and produces the
+//!    reference determinism digest.
+//! 2. **Inline run**: a fresh service consumes the recorded stream in
+//!    lock-step with the simulated fabric (admitted tenants' traffic,
+//!    μFAB-E-driven qualification). At `--snapshot-at` the service is
+//!    serialized, dropped, and restored from the snapshot mid-run.
+//!
+//! The acceptance criteria are exact, not statistical: the restored
+//! service must (a) pass the ledger conservation audit, (b) preserve
+//! every open guarantee span across the restore, and (c) finish with a
+//! digest **byte-identical** to the uninterrupted reference run — at
+//! any `--jobs N`.
+//!
+//! Reported per placement policy: admission outcomes, applied resizes
+//! (`ok+denied`) and p99 resize decision latency, drained VM count and
+//! the time for drained tenants to re-reach `Guaranteed`, guarantee
+//! violation milliseconds overall and inside the restore window, mean
+//! ledger utilization, and the service digest.
+//!
+//! All snapshot/restore progress goes to **stderr**: stdout is
+//! byte-identical whether the mid-run restore happens or not
+//! (`--snapshot-at 0` disables it).
+
+use super::common::{emit, f, obs_epilogue, us, Scale};
+use super::fig17::build_topo;
+use crate::executor::{run_jobs, Job};
+use crate::harness::{Runner, SystemKind, SLICE};
+use fabric::{AdmissionCfg, Policy};
+use fabricd::{Applied, FabricOp, FabricReply, FabricService};
+use metrics::table::Table;
+use metrics::Percentiles;
+use netsim::{NodeId, PairId, Time, MS, US};
+use obs::{InvariantSuite, SnapshotRoundTrip};
+use std::sync::Arc;
+use topology::Topo;
+use ufab::{FabricSpec, UfabEdge};
+use workloads::churn::{
+    gen_trace, ChurnCfg, ChurnDriver, DemandKind, PairDemand, TenantArrival, TenantTraffic,
+};
+use workloads::dists::{kv_object_sizes, websearch_flow_sizes};
+use workloads::driver::Driver;
+
+/// Operator-script presets accepted by `--ops-script`.
+pub const PRESETS: &[&str] = &["none", "resize", "drain", "mixed"];
+
+/// Outer control-plane step: op replay + qualification polling.
+const STEP: Time = 250 * US;
+/// Guarantee threshold for violation accounting.
+const GUAR_FRACTION: f64 = 0.85;
+/// Violation bins inspected around the restore instant (1 ms bins).
+const RESTORE_WINDOW_MS: u64 = 5;
+
+/// Timeline of one ops run (all instants in ns).
+struct Timeline {
+    first_arrival: Time,
+    last_arrival: Time,
+    horizon: Time,
+}
+
+impl Timeline {
+    /// An instant at `pct`% of the arrival window.
+    fn at(&self, pct: u64) -> Time {
+        self.first_arrival + (self.last_arrival - self.first_arrival) * pct / 100
+    }
+}
+
+fn timeline(quick: bool) -> Timeline {
+    let s: Time = if quick { 1 } else { 3 };
+    let first_arrival = 2 * MS;
+    let last_arrival = first_arrival + 48 * MS * s;
+    Timeline {
+        first_arrival,
+        last_arrival,
+        // Latest depart (queueing + max lifetime), reclaim grace, margin.
+        horizon: last_arrival + 20 * MS + MS + 4 * MS,
+    }
+}
+
+fn ops_churn_cfg(scale: &Scale, tl: &Timeline, n_hosts: usize) -> ChurnCfg {
+    ChurnCfg {
+        seed: scale.seed,
+        // Lighter than `repro churn`: the scenario probes operator ops
+        // on a loaded-but-conformant fabric, not admission pressure.
+        arrivals_per_sec: 8_000.0 * n_hosts as f64 / 512.0,
+        first_arrival: tl.first_arrival,
+        last_arrival: tl.last_arrival,
+        mean_lifetime_ns: 5e6,
+        sigma_lifetime: 0.8,
+        min_lifetime: 600 * US,
+        max_lifetime: 20 * MS,
+    }
+}
+
+/// Per-pair demand program for an admitted tenant of `kind`. Bulk
+/// tenants offer 15 % above their guarantee so delivered rate sits
+/// clearly over the violation threshold on a conformant fabric — the
+/// violation metric then isolates fabric misbehavior, not offered-load
+/// shortfall.
+fn demand_for(kind: DemandKind, guar_bps: f64) -> PairDemand {
+    match kind {
+        DemandKind::Bulk => PairDemand::Steady {
+            bps: 1.15 * guar_bps,
+        },
+        DemandKind::Whale => PairDemand::Steady {
+            bps: guar_bps.min(1.5e9),
+        },
+        DemandKind::WebFlows => {
+            let sizes = websearch_flow_sizes();
+            let rate = (0.3 * guar_bps / (sizes.mean() * 8.0)).max(1.0);
+            PairDemand::Flows {
+                mean_gap_ns: 1e9 / rate,
+                sizes,
+            }
+        }
+        DemandKind::KvFlows => PairDemand::Flows {
+            mean_gap_ns: 500_000.0,
+            sizes: kv_object_sizes(),
+        },
+        DemandKind::Overclaim => unreachable!("overclaim tenants are never admitted"),
+    }
+}
+
+/// One scripted operator action; targets are selected from live service
+/// state when the instant is reached.
+#[derive(Clone, Copy)]
+enum ScriptEv {
+    /// Grow/shrink up to 4 active tenants in id order.
+    Resize,
+    /// Cordon-and-drain the first host carrying an active VM.
+    DrainHost,
+    /// Cordon a core switch (spread-table rebuild around it).
+    CordonCore,
+    /// Lift the core cordon (rebuild back).
+    UncordonCore,
+}
+
+/// The operator timeline for a preset, `(instant, action)` sorted.
+fn script_events(script: &str, tl: &Timeline) -> Vec<(Time, ScriptEv)> {
+    match script {
+        "none" => vec![],
+        "resize" => vec![(tl.at(35), ScriptEv::Resize), (tl.at(55), ScriptEv::Resize)],
+        "drain" => vec![(tl.at(70), ScriptEv::DrainHost)],
+        "mixed" => vec![
+            (tl.at(25), ScriptEv::CordonCore),
+            (tl.at(35), ScriptEv::Resize),
+            (tl.at(55), ScriptEv::Resize),
+            (tl.at(70), ScriptEv::DrainHost),
+            (tl.at(85), ScriptEv::UncordonCore),
+        ],
+        other => panic!("unknown ops script preset {other:?}"),
+    }
+}
+
+/// Select the concrete ops for a script action from service state.
+fn select_ops(ev: ScriptEv, svc: &FabricService, resize_round: &mut u32) -> Vec<FabricOp> {
+    match ev {
+        ScriptEv::Resize => {
+            // Up to 4 active tenants in id order; alternate grow/shrink
+            // so both the delta-commit and the release path run.
+            let round = *resize_round;
+            *resize_round += 1;
+            svc.tenants()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_active())
+                .take(4)
+                .map(|(i, t)| {
+                    let factor = if (i as u32 + round) % 2 == 0 {
+                        1.25
+                    } else {
+                        0.75
+                    };
+                    FabricOp::Resize {
+                        tenant: i as u32,
+                        new_tokens_per_vm: t.tokens_per_vm * factor,
+                    }
+                })
+                .collect()
+        }
+        ScriptEv::DrainHost => svc
+            .tenants()
+            .iter()
+            .find(|t| t.is_active())
+            .map(|t| {
+                vec![FabricOp::Drain {
+                    node: t.hosts[0].raw(),
+                }]
+            })
+            .unwrap_or_default(),
+        ScriptEv::CordonCore => vec![FabricOp::Cordon {
+            node: svc.topo().cores[0].raw(),
+        }],
+        ScriptEv::UncordonCore => vec![FabricOp::Uncordon {
+            node: svc.topo().cores[0].raw(),
+        }],
+    }
+}
+
+/// Output of the uninterrupted reference pre-pass.
+struct Prepass {
+    /// The recorded op stream: `(submit instant, op)` in order. The
+    /// inline run replays exactly this — operator targets are already
+    /// resolved.
+    ops: Vec<(Time, FabricOp)>,
+    /// Trace index of each admit op in `ops` order.
+    admit_req: Vec<usize>,
+    /// Full applied stream of the uninterrupted run.
+    applied: Vec<Applied>,
+    /// Reference determinism digest.
+    digest: u64,
+}
+
+/// Play the trace + operator script into a fresh service end to end,
+/// recording the resolved op stream and the reference digest.
+fn prepass(
+    topo: Arc<Topo>,
+    acfg: AdmissionCfg,
+    trace: &[TenantArrival],
+    tl: &Timeline,
+    script: &str,
+) -> Prepass {
+    let mut svc = FabricService::new(topo, acfg);
+    let script_pts = script_events(script, tl);
+    let mut ops: Vec<(Time, FabricOp)> = Vec::with_capacity(trace.len() + 8);
+    let mut admit_req: Vec<usize> = Vec::with_capacity(trace.len());
+    let mut applied: Vec<Applied> = Vec::new();
+    let mut resize_round = 0u32;
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let next_arrival = trace.get(i).map(|a| a.arrival);
+        let next_script = script_pts.get(j).map(|&(t, _)| t);
+        // Arrivals win ties so the script sees the newest state.
+        let arrival_first = match (next_arrival, next_script) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(s)) => a <= s,
+        };
+        if arrival_first {
+            let a = next_arrival.expect("arrival_first implies an arrival");
+            let op = FabricOp::Admit {
+                name: format!("ops-{i}"),
+                n_vms: trace[i].n_vms,
+                tokens_per_vm: trace[i].tokens_per_vm,
+                lifetime: trace[i].lifetime,
+            };
+            svc.submit(a, op.clone());
+            ops.push((a, op));
+            admit_req.push(i);
+            i += 1;
+        } else {
+            let t = next_script.expect("script point pending");
+            // Catch the service up to the instant, then pick targets
+            // from its state — deterministically, so the recorded
+            // stream is a pure function of (trace, script, policy).
+            applied.extend(svc.advance(t));
+            for op in select_ops(script_pts[j].1, &svc, &mut resize_round) {
+                svc.submit(t, op.clone());
+                ops.push((t, op));
+            }
+            j += 1;
+        }
+    }
+    applied.extend(svc.advance(tl.horizon));
+    svc.audit().expect("reference run fails conservation audit");
+    Prepass {
+        ops,
+        admit_req,
+        applied,
+        digest: svc.digest(),
+    }
+}
+
+/// Everything a policy cell reports back for asserts and the table.
+struct CellOut {
+    row: [String; 11],
+    epilogue: String,
+    admitted: usize,
+    rejected: u32,
+    drain_failed: bool,
+    script_has_drain: bool,
+    snapshot_fired: bool,
+    viol_ms: u64,
+    guaranteed_ms: u64,
+    restore_viol_ms: u64,
+    svc_violations: usize,
+    svc_report: String,
+    events: u64,
+}
+
+fn run_cell(scale: Scale, policy: Policy, script: String, snap_at: Option<Time>) -> CellOut {
+    let tl = timeline(scale.quick);
+    let servers = scale.servers.unwrap_or(512);
+    let n_hosts = build_topo(servers, false).hosts.len();
+    let trace = gen_trace(&ops_churn_cfg(&scale, &tl, n_hosts));
+    let acfg = AdmissionCfg {
+        policy,
+        ..AdmissionCfg::default()
+    };
+
+    // 1) Uninterrupted reference run: records the op stream + digest.
+    let pre = prepass(
+        Arc::new(build_topo(servers, false)),
+        acfg,
+        &trace,
+        &tl,
+        &script,
+    );
+
+    // 2) FabricSpec + traffic programs from the reference admit replies
+    //    (tenant ids are dense over admissions, in admit order). VMs
+    //    ring-pair; traffic runs on the *original* placement for the
+    //    whole lifetime — a drain migrates the control-plane slot, the
+    //    data-plane probe keeps flowing.
+    let mut fabric_spec = FabricSpec::new(acfg.bu_bps);
+    let mut tenant_pairs: Vec<Vec<(NodeId, PairId)>> = Vec::new();
+    let mut tenant_fabric: Vec<u32> = Vec::new();
+    let mut tenant_kind: Vec<DemandKind> = Vec::new();
+    let mut min_tokens: Vec<f64> = Vec::new();
+    let mut programs: Vec<TenantTraffic> = Vec::new();
+    let mut admit_seen = 0usize;
+    for ap in &pre.applied {
+        let FabricOp::Admit {
+            name,
+            tokens_per_vm,
+            lifetime,
+            ..
+        } = &ap.op
+        else {
+            // Track the lowest guarantee ever in force per tenant: the
+            // violation threshold for a tenant whose traffic program is
+            // static must follow its committed resizes downward.
+            if let FabricReply::Resized {
+                tenant, new_tokens, ..
+            } = &ap.reply
+            {
+                let e = &mut min_tokens[*tenant as usize];
+                *e = e.min(*new_tokens);
+            }
+            continue;
+        };
+        let req = pre.admit_req[admit_seen];
+        admit_seen += 1;
+        let FabricReply::Admitted { tenant, hosts } = &ap.reply else {
+            continue;
+        };
+        debug_assert_eq!(*tenant as usize, tenant_pairs.len());
+        let kind = trace[req].kind;
+        let tid = fabric_spec.add_tenant(name, *tokens_per_vm);
+        let hosts: Vec<NodeId> = hosts.iter().map(|&h| NodeId(h)).collect();
+        let vms: Vec<_> = hosts.iter().map(|&h| fabric_spec.add_vm(tid, h)).collect();
+        let guar = tokens_per_vm * acfg.bu_bps;
+        let mut pairs = Vec::with_capacity(vms.len());
+        let mut prog_pairs = Vec::with_capacity(vms.len());
+        for i in 0..vms.len() {
+            let j = (i + 1) % vms.len();
+            let pair = fabric_spec.add_pair(vms[i], vms[j]);
+            pairs.push((hosts[i], pair));
+            prog_pairs.push((hosts[i], pair, demand_for(kind, guar)));
+        }
+        tenant_pairs.push(pairs);
+        tenant_fabric.push(tid.raw());
+        tenant_kind.push(kind);
+        min_tokens.push(*tokens_per_vm);
+        programs.push(TenantTraffic {
+            tag: tid.raw(),
+            start: ap.applied,
+            stop: ap.applied + lifetime,
+            pairs: prog_pairs,
+        });
+    }
+    let admitted = tenant_pairs.len();
+
+    // 3) Simulator + the inline service (its own identically-built topo).
+    let svc_topo = Arc::new(build_topo(servers, false));
+    let mut r = Runner::new(
+        build_topo(servers, false),
+        fabric_spec,
+        SystemKind::Ufab,
+        scale.seed,
+        None,
+        MS,
+    );
+    if let Some(cap) = scale.trace {
+        r.enable_trace(cap);
+    } else {
+        r.sim.enable_det_hash();
+    }
+    if scale.check_invariants {
+        r.enable_invariants(MS / 4);
+    }
+    let mut svc = FabricService::new(svc_topo.clone(), acfg);
+    svc.set_obs(r.obs.clone());
+
+    // The service invariant: at every evaluation the snapshot must
+    // restore to a byte-identical, audit-clean service.
+    let mut ssuite: InvariantSuite<FabricService> = InvariantSuite::new(2 * MS);
+    ssuite.register(Box::new(SnapshotRoundTrip));
+
+    let mut driver = ChurnDriver::new(programs, scale.seed ^ 0x5eed, 0);
+
+    // 4) Run loop: replay the recorded op stream in lock-step with the
+    //    simulator; snapshot/kill/restore the service at `snap_at`.
+    let mut baselines: Vec<Vec<u64>> = vec![Vec::new(); admitted];
+    let mut resize_lat = Percentiles::new();
+    let mut resized_ok = 0u32;
+    let mut resized_denied = 0u32;
+    let mut drained_vms = 0usize;
+    let mut drain_failed = false;
+    let mut drain_at: Option<Time> = None;
+    let mut drain_touched: Vec<u32> = Vec::new();
+    let mut requal_ns: Vec<u64> = Vec::new();
+    let mut util_sum = 0.0;
+    let mut util_n = 0u64;
+    let mut snapshot_fired = false;
+    let mut next_op = 0usize;
+    let mut now = 0;
+    while now < tl.horizon {
+        now = (now + STEP).min(tl.horizon);
+        while next_op < pre.ops.len() && pre.ops[next_op].0 <= now {
+            let (t, op) = &pre.ops[next_op];
+            svc.submit(*t, op.clone());
+            next_op += 1;
+        }
+        {
+            let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+            r.run(now, SLICE, &mut drivers);
+        }
+        for ap in svc.advance(now) {
+            match &ap.reply {
+                FabricReply::Admitted { tenant, .. } => {
+                    // Acked-bytes baseline: qualification requires
+                    // delivered progress, not just telemetry.
+                    baselines[*tenant as usize] = tenant_pairs[*tenant as usize]
+                        .iter()
+                        .map(|&(src, pair)| {
+                            r.sim
+                                .try_edge::<UfabEdge>(src)
+                                .map(|e| e.ep.acked_bytes(pair))
+                                .unwrap_or(0)
+                        })
+                        .collect();
+                }
+                FabricReply::Resized { .. } => {
+                    resized_ok += 1;
+                    resize_lat.add((ap.applied - ap.submitted) as f64);
+                }
+                FabricReply::ResizeDenied { .. } => {
+                    resized_denied += 1;
+                    resize_lat.add((ap.applied - ap.submitted) as f64);
+                }
+                FabricReply::Drained { moved, .. } => {
+                    drained_vms += moved.len();
+                    drain_at = Some(ap.applied);
+                    drain_touched = moved.iter().map(|m| m.0).collect();
+                    drain_touched.dedup();
+                }
+                FabricReply::DrainFailed { detail, .. } => {
+                    drain_failed = true;
+                    eprintln!("[ops] drain failed: {detail}");
+                }
+                _ => {}
+            }
+        }
+        // Qualification poll: every pair's current path telemetry
+        // qualifies and acked bytes moved past the baseline.
+        for (i, _) in svc.qualifying() {
+            let i = i as usize;
+            if i >= tenant_pairs.len() {
+                continue;
+            }
+            let ok = tenant_pairs[i]
+                .iter()
+                .zip(&baselines[i])
+                .all(|(&(src, pair), &base)| {
+                    r.sim
+                        .try_edge::<UfabEdge>(src)
+                        .map(|e| {
+                            e.pair_qualified(pair) == Some(true) && e.ep.acked_bytes(pair) > base
+                        })
+                        .unwrap_or(false)
+                });
+            if ok {
+                svc.note_qualified(i as u32, now);
+                if let Some(d) = drain_at {
+                    if drain_touched.contains(&(i as u32)) {
+                        requal_ns.push(now - d);
+                    }
+                }
+            }
+        }
+        // Operator restart drill: serialize, kill, restore.
+        if let Some(at) = snap_at {
+            if !snapshot_fired && now >= at {
+                snapshot_fired = true;
+                let open_spans: Vec<(u32, Time)> = svc
+                    .tenants()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| t.guaranteed_at.map(|g| (i as u32, g)))
+                    .collect();
+                let snap = svc.snapshot();
+                eprintln!(
+                    "[ops {}] snapshot at {} µs: {} bytes, digest {:016x}",
+                    policy.label(),
+                    now / US,
+                    snap.len(),
+                    svc.digest()
+                );
+                drop(svc);
+                svc = FabricService::restore(svc_topo.clone(), &snap)
+                    .expect("mid-run snapshot must restore");
+                svc.set_obs(r.obs.clone());
+                // No guarantee blinks across the restart: every open
+                // span survives with its original start instant.
+                for (i, g) in open_spans {
+                    assert_eq!(
+                        svc.tenants()[i as usize].guaranteed_at,
+                        Some(g),
+                        "restore interrupted tenant {i}'s open guarantee span"
+                    );
+                }
+                eprintln!("[ops {}] restored, audit clean", policy.label());
+            }
+        }
+        if scale.check_invariants && ssuite.due(now) {
+            ssuite.run(&svc, now, &r.obs);
+        }
+        if now >= tl.first_arrival && now <= tl.last_arrival {
+            util_sum += svc.ledger().utilization();
+            util_n += 1;
+        }
+    }
+    svc.audit()
+        .expect("inline service fails conservation audit");
+    assert_eq!(
+        svc.digest(),
+        pre.digest,
+        "inline digest diverged from the uninterrupted reference run"
+    );
+
+    // 5) Violation accounting: 1 ms rate bins fully inside a guarantee
+    //    span (1 ms entry grace), threshold at the lowest guarantee
+    //    ever in force for the tenant.
+    let rec = r.rec.borrow();
+    let mut viol_ms = 0u64;
+    let mut guaranteed_ms = 0u64;
+    let mut restore_viol_ms = 0u64;
+    // The window is a fixed time range, evaluated whether or not the
+    // restore drill actually ran there — a correct restore must leave
+    // the data plane untouched, so the count is identical either way
+    // (and stdout stays byte-identical across `--snapshot-at`).
+    let window_at = snap_at.unwrap_or_else(|| tl.at(50));
+    let restore_bins = (window_at / MS, window_at / MS + RESTORE_WINDOW_MS);
+    for (i, t) in svc.tenants().iter().enumerate() {
+        if i >= tenant_kind.len() || tenant_kind[i] != DemandKind::Bulk {
+            continue;
+        }
+        let tenant_guar =
+            GUAR_FRACTION * min_tokens[i] * acfg.bu_bps * tenant_pairs[i].len() as f64;
+        let series = rec.tenant_rates.get(&tenant_fabric[i]);
+        let mut spans = t.guaranteed_spans.clone();
+        if let Some(g) = t.guaranteed_at {
+            spans.push((g, tl.horizon));
+        }
+        for &(enter, exit) in &spans {
+            let b0 = ((enter + MS) / MS + 1) as usize;
+            let b1 = (exit / MS) as usize;
+            for b in b0..b1 {
+                guaranteed_ms += 1;
+                let rate = series.map(|s| s.rate_at(b)).unwrap_or(0.0);
+                if rate < tenant_guar {
+                    viol_ms += 1;
+                    if (restore_bins.0..=restore_bins.1).contains(&(b as u64)) {
+                        restore_viol_ms += 1;
+                    }
+                }
+            }
+        }
+    }
+    drop(rec);
+
+    let epilogue = obs_epilogue(&scale, &r, &format!("ops:{}", policy.label()));
+    let requal_max_ms = requal_ns.iter().max().map(|&n| f(n as f64 / 1e6, 1));
+    CellOut {
+        row: [
+            policy.label().to_string(),
+            admitted.to_string(),
+            svc.n_rejected().to_string(),
+            format!("{resized_ok}+{resized_denied}"),
+            us(resize_lat.percentile(99.0).unwrap_or(0.0)),
+            drained_vms.to_string(),
+            requal_max_ms.unwrap_or_else(|| "-".into()),
+            viol_ms.to_string(),
+            restore_viol_ms.to_string(),
+            f(100.0 * util_sum / util_n.max(1) as f64, 1),
+            format!("{:016x}", svc.digest()),
+        ],
+        epilogue,
+        admitted,
+        rejected: svc.n_rejected(),
+        drain_failed,
+        script_has_drain: script == "drain" || script == "mixed",
+        snapshot_fired,
+        viol_ms,
+        guaranteed_ms,
+        restore_viol_ms,
+        svc_violations: ssuite.violations().len(),
+        svc_report: ssuite.report(),
+        events: r.sim.stats().events,
+    }
+}
+
+/// Run the ops scenario: both placement policies, in parallel cells.
+/// `snap_at_us` is the snapshot/kill/restore instant in µs of simulated
+/// time — `None` picks mid-window, `Some(0)` disables the drill.
+pub fn run(scale: Scale, script: &str, snap_at_us: Option<u64>) -> Table {
+    assert!(
+        PRESETS.contains(&script),
+        "unknown ops script preset {script:?} (have {PRESETS:?})"
+    );
+    let tl = timeline(scale.quick);
+    let snap_at = match snap_at_us {
+        Some(0) => None,
+        Some(us_in) => Some(us_in * US),
+        None => Some(tl.at(50)),
+    };
+    let cells: Vec<Job<CellOut>> = [Policy::FirstFit, Policy::LoadSpread]
+        .into_iter()
+        .map(|p| {
+            let script = script.to_string();
+            Job::new(format!("ops:{}", p.label()), move || {
+                run_cell(scale, p, script, snap_at)
+            })
+        })
+        .collect();
+    let mut table = Table::new([
+        "policy",
+        "admit",
+        "reject",
+        "resized",
+        "rsz_p99_us",
+        "drained_vms",
+        "requal_ms",
+        "viol_ms",
+        "rst_viol_ms",
+        "util_pct",
+        "digest",
+    ]);
+    for out in run_jobs(cells) {
+        table.row(out.row.clone());
+        if !out.epilogue.is_empty() {
+            print!("{}", out.epilogue);
+        }
+        assert_eq!(
+            out.svc_violations, 0,
+            "service invariants violated:\n{}",
+            out.svc_report
+        );
+        assert!(
+            out.rejected > 0 || out.admitted < 50,
+            "the over-subscribed class must produce rejections"
+        );
+        if out.script_has_drain {
+            assert!(
+                !out.drain_failed,
+                "the scripted drain must migrate, not roll back, at this load"
+            );
+        }
+        if out.snapshot_fired {
+            assert_eq!(
+                out.restore_viol_ms, 0,
+                "guaranteed tenants violated inside the restore window"
+            );
+        }
+        if out.guaranteed_ms >= 200 {
+            let frac = out.viol_ms as f64 / out.guaranteed_ms as f64;
+            assert!(
+                frac < 0.10,
+                "bulk tenants below {GUAR_FRACTION}x guarantee for {:.1}% of \
+                 their guaranteed time ({} of {} ms)",
+                frac * 100.0,
+                out.viol_ms,
+                out.guaranteed_ms
+            );
+        }
+    }
+    emit(
+        "ops_fabricd",
+        "Ops: fabricd resize/drain/restore drill at 512-server scale",
+        &table,
+    );
+    table
+}
+
+/// Small fixed cell for `simbench ops`: 64 servers, first-fit, quick
+/// timeline, mixed script with a mid-run restore. Returns simulator
+/// events processed.
+pub fn bench_cell(seed: u64) -> u64 {
+    let scale = Scale {
+        seed,
+        quick: true,
+        servers: Some(64),
+        ..Scale::default()
+    };
+    let tl = timeline(true);
+    let out = run_cell(scale, Policy::FirstFit, "mixed".into(), Some(tl.at(50)));
+    assert_eq!(out.svc_violations, 0, "{}", out.svc_report);
+    out.events
+}
+
+/// `simbench ops` micro inputs: build a populated 64-server service and
+/// measure `iters` resize round-trips, returning ops applied.
+pub fn resize_bench(seed: u64, iters: usize) -> usize {
+    let (mut svc, mut now) = populated_service(seed);
+    let n = svc.tenants().len() as u32;
+    let mut applied = 0;
+    for k in 0..iters {
+        let tenant = (k as u32) % n;
+        let tokens = svc.tenants()[tenant as usize].tokens_per_vm;
+        let factor = if k % 2 == 0 { 1.25 } else { 0.8 };
+        now += 25 * US;
+        svc.submit(
+            now,
+            FabricOp::Resize {
+                tenant,
+                new_tokens_per_vm: tokens * factor,
+            },
+        );
+        applied += svc.advance(now + 25 * US).len();
+    }
+    svc.audit().expect("bench service fails audit");
+    applied
+}
+
+/// Snapshot serialization on a populated service, `iters` times.
+/// Returns total snapshot bytes rendered.
+pub fn snapshot_bench(seed: u64, iters: usize) -> usize {
+    let (svc, _) = populated_service(seed);
+    let mut bytes = 0;
+    for _ in 0..iters {
+        bytes += svc.snapshot().len();
+    }
+    bytes
+}
+
+/// Snapshot restore (parse + ledger/placer rebuild + conservation
+/// audit) on a populated service, `iters` times. Returns tenants
+/// restored across all iterations.
+pub fn restore_bench(seed: u64, iters: usize) -> usize {
+    let (svc, _) = populated_service(seed);
+    let topo = Arc::new(build_topo(64, false));
+    let snap = svc.snapshot();
+    let mut tenants = 0;
+    for _ in 0..iters {
+        let back = FabricService::restore(topo.clone(), &snap).expect("bench snapshot restores");
+        assert_eq!(back.digest(), svc.digest());
+        tenants += back.tenants().len();
+    }
+    tenants
+}
+
+/// A 64-server service carrying a settled tenant population, plus the
+/// clock it has advanced to.
+fn populated_service(seed: u64) -> (FabricService, Time) {
+    let scale = Scale {
+        seed,
+        quick: true,
+        servers: Some(64),
+        ..Scale::default()
+    };
+    let tl = timeline(true);
+    let topo = Arc::new(build_topo(64, false));
+    let trace = gen_trace(&ops_churn_cfg(&scale, &tl, topo.hosts.len()));
+    let mut svc = FabricService::new(topo, AdmissionCfg::default());
+    // Long-lived population: admit the first half of the trace with
+    // lifetimes past the bench horizon so resizes hit live tenants.
+    for (i, a) in trace.iter().take(trace.len() / 2).enumerate() {
+        svc.submit(
+            a.arrival,
+            FabricOp::Admit {
+                name: format!("bench-{i}"),
+                n_vms: a.n_vms,
+                tokens_per_vm: a.tokens_per_vm,
+                lifetime: 10 * tl.horizon,
+            },
+        );
+    }
+    let now = tl.at(50);
+    svc.advance(now);
+    assert!(!svc.tenants().is_empty(), "bench service admitted nothing");
+    (svc, now)
+}

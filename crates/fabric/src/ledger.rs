@@ -19,7 +19,7 @@
 //! conservative edge-only hose model.
 
 use netsim::{NodeId, PortNo};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use topology::Topo;
 
 /// Node-tier codes used for the up-walk.
@@ -51,6 +51,16 @@ impl Link {
     fn limit(&self, eta: f64) -> f64 {
         eta * self.cap_bps
     }
+
+    /// `node:port (node ↔ peer)` — the canonical way a ledger link is
+    /// named in error strings, so a churn-scale failure localizes to one
+    /// physical link instead of an anonymous "a touched link".
+    pub fn describe(&self) -> String {
+        format!(
+            "{}:{} ({} ↔ {})",
+            self.node, self.port, self.node, self.peer
+        )
+    }
 }
 
 /// Per-link committed-B_min accounting with an admissibility check.
@@ -71,6 +81,22 @@ impl Ledger {
     /// # Panics
     /// Panics unless `0 < headroom ≤ 1`.
     pub fn new(topo: &Topo, headroom: f64) -> Self {
+        Self::new_excluding(topo, headroom, &BTreeSet::new())
+    }
+
+    /// Like [`Ledger::new`], but the fractional up-walk skips any
+    /// aggregation/core switch whose raw node id is in `cordoned`,
+    /// renormalizing the remaining fractions so each tier still sums to
+    /// 1.0 — the spread-table rebuild behind topology drain/expand.
+    /// Cordoning a host or ToR does not change the spread (their links
+    /// are only used by their own placements, which a drain migrates
+    /// away); cordoning an agg or core moves its share of every hose
+    /// onto the surviving uplinks. All links stay enumerated (a cordoned
+    /// switch's links simply carry no fresh commitment).
+    ///
+    /// # Panics
+    /// Panics unless `0 < headroom ≤ 1`.
+    pub fn new_excluding(topo: &Topo, headroom: f64, cordoned: &BTreeSet<u32>) -> Self {
         assert!(
             headroom > 0.0 && headroom <= 1.0,
             "ledger headroom must be in (0, 1], got {headroom}"
@@ -128,7 +154,11 @@ impl Ledger {
                 let ups: Vec<_> = topo
                     .neighbors(tor)
                     .iter()
-                    .filter(|a| tier[a.peer.idx()] > T_TOR && tier[a.peer.idx()] != T_OTHER)
+                    .filter(|a| {
+                        tier[a.peer.idx()] > T_TOR
+                            && tier[a.peer.idx()] != T_OTHER
+                            && !cordoned.contains(&a.peer.raw())
+                    })
                     .collect();
                 if ups.is_empty() {
                     continue;
@@ -143,7 +173,9 @@ impl Ledger {
                     let cores: Vec<_> = topo
                         .neighbors(agg)
                         .iter()
-                        .filter(|a| tier[a.peer.idx()] == T_CORE)
+                        .filter(|a| {
+                            tier[a.peer.idx()] == T_CORE && !cordoned.contains(&a.peer.raw())
+                        })
                         .collect();
                     if cores.is_empty() {
                         continue;
@@ -217,10 +249,20 @@ impl Ledger {
     /// Would committing a `hose_bps` VM on `host` keep every touched
     /// link at or under η·cap?
     pub fn admissible(&self, host: NodeId, hose_bps: f64) -> bool {
-        self.spread_of(host).iter().all(|&(i, f)| {
-            let l = &self.links[i];
-            l.committed_bps + f * hose_bps <= l.limit(self.headroom) + Self::eps(l.cap_bps)
-        })
+        self.first_blocking_link(host, hose_bps).is_none()
+    }
+
+    /// The first touched link (in ledger order) that a `hose_bps`
+    /// commitment on `host` would push past η·cap, if any — the link an
+    /// admission rejection or overbook panic should name.
+    pub fn first_blocking_link(&self, host: NodeId, hose_bps: f64) -> Option<&Link> {
+        self.spread_of(host)
+            .iter()
+            .map(|&(i, f)| (&self.links[i], f))
+            .find(|(l, f)| {
+                l.committed_bps + f * hose_bps > l.limit(self.headroom) + Self::eps(l.cap_bps)
+            })
+            .map(|(l, _)| l)
     }
 
     /// Commit a `hose_bps` VM on `host`.
@@ -229,16 +271,23 @@ impl Ledger {
     /// Panics if the commitment is not admissible — the manager must
     /// check [`Ledger::admissible`] first (reject, don't overbook).
     pub fn commit(&mut self, host: NodeId, hose_bps: f64) {
-        assert!(
-            self.admissible(host, hose_bps),
-            "ledger overbook: committing {hose_bps} bps on host {host} \
-             exceeds η·cap on a touched link"
-        );
-        self.commit_unchecked(host, hose_bps);
+        if let Some(l) = self.first_blocking_link(host, hose_bps) {
+            panic!(
+                "ledger overbook: committing {hose_bps} bps on host {host} exceeds \
+                 η·cap = {:.0} bps on link {} (committed {:.0} bps)",
+                l.limit(self.headroom),
+                l.describe(),
+                l.committed_bps
+            );
+        }
+        self.replay_commit(host, hose_bps);
     }
 
-    /// Commit without the admissibility assert (audit replays only).
-    pub(crate) fn commit_unchecked(&mut self, host: NodeId, hose_bps: f64) {
+    /// Commit without the admissibility assert. Only for replays that
+    /// rebuild known-good state — the conservation audit's shadow ledger
+    /// and the snapshot/restore path — where the original commitment was
+    /// already admission-checked.
+    pub fn replay_commit(&mut self, host: NodeId, hose_bps: f64) {
         let spread = self
             .spread
             .get(&host.raw())
@@ -263,10 +312,12 @@ impl Ledger {
             l.committed_bps -= f * hose_bps;
             assert!(
                 l.committed_bps >= -Self::eps(l.cap_bps),
-                "ledger double release: link {}:{} committed {} bps after \
+                "ledger double release: link {}:{} ({} ↔ {}) committed {} bps after \
                  releasing {hose_bps} bps on host {host}",
                 l.node,
                 l.port,
+                l.node,
+                l.peer,
                 l.committed_bps
             );
             if l.committed_bps < 0.0 {
@@ -282,23 +333,74 @@ impl Ledger {
             let eps = Self::eps(l.cap_bps);
             if l.committed_bps > l.limit(self.headroom) + eps {
                 return Err(format!(
-                    "link {}:{} ({} ↔ {}) committed {:.0} bps exceeds η·cap = {:.0} bps",
-                    l.node,
-                    l.port,
-                    l.node,
-                    l.peer,
+                    "link {} committed {:.0} bps exceeds η·cap = {:.0} bps",
+                    l.describe(),
                     l.committed_bps,
                     l.limit(self.headroom)
                 ));
             }
             if l.committed_bps < -eps {
                 return Err(format!(
-                    "link {}:{} committed {:.0} bps is negative",
-                    l.node, l.port, l.committed_bps
+                    "link {} committed {:.0} bps is negative",
+                    l.describe(),
+                    l.committed_bps
                 ));
             }
         }
         Ok(())
+    }
+
+    /// Compare this ledger's committed totals link-by-link against a
+    /// shadow rebuild, naming the first drifting link. Both ledgers must
+    /// come from the same topology (same link enumeration).
+    pub fn diff(&self, rebuilt: &Ledger) -> Result<(), String> {
+        assert_eq!(
+            self.links.len(),
+            rebuilt.links.len(),
+            "ledger diff across different topologies"
+        );
+        for (live, want) in self.links.iter().zip(&rebuilt.links) {
+            if (live.committed_bps - want.committed_bps).abs() > Self::eps(live.cap_bps) {
+                return Err(format!(
+                    "ledger drift on link {} — live {:.0} bps vs rebuilt {:.0} bps",
+                    live.describe(),
+                    live.committed_bps,
+                    want.committed_bps
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact per-link committed totals as IEEE-754 bit patterns, in link
+    /// order — the snapshot serialization of ledger state. Bits (not
+    /// decimal) so a restored ledger is byte-identical to the live one:
+    /// replaying commitments in a different order would accumulate float
+    /// dust, and restore must not perturb later admission decisions.
+    pub fn committed_bits(&self) -> Vec<u64> {
+        self.links
+            .iter()
+            .map(|l| l.committed_bps.to_bits())
+            .collect()
+    }
+
+    /// Restore per-link committed totals captured by
+    /// [`Ledger::committed_bits`]. The caller must re-run the
+    /// conservation audit afterwards — this trusts the snapshot.
+    ///
+    /// # Panics
+    /// Panics if `bits` does not have one entry per link.
+    pub fn set_committed_bits(&mut self, bits: &[u64]) {
+        assert_eq!(
+            bits.len(),
+            self.links.len(),
+            "ledger snapshot has {} links, topology has {}",
+            bits.len(),
+            self.links.len()
+        );
+        for (l, &b) in self.links.iter_mut().zip(bits) {
+            l.committed_bps = f64::from_bits(b);
+        }
     }
 
     /// Mean committed fraction of the admissible (η·cap) budget over the
@@ -443,6 +545,70 @@ mod tests {
         let t = small_leaf_spine();
         let l = Ledger::new(&t, 0.9);
         l.spread_of(t.tors[0]);
+    }
+
+    #[test]
+    fn excluding_a_core_renormalizes_the_spread() {
+        let t = three_tier(ThreeTierCfg::default());
+        let dead = t.cores[0].raw();
+        let cordoned: BTreeSet<u32> = [dead].into_iter().collect();
+        let l = Ledger::new_excluding(&t, 0.9, &cordoned);
+        // Same link universe, but no host's hose touches the cordoned
+        // core, and each tier still sums to 1.0.
+        assert_eq!(l.n_links(), Ledger::new(&t, 0.9).n_links());
+        for &h in &t.hosts {
+            let (mut access, mut fabric) = (0.0, 0.0);
+            for &(i, f) in l.spread_of(h) {
+                let link = &l.links()[i];
+                assert!(
+                    link.node.raw() != dead && link.peer.raw() != dead,
+                    "spread touches cordoned core on {}",
+                    link.describe()
+                );
+                if link.access {
+                    access += f;
+                } else {
+                    fabric += f;
+                }
+            }
+            assert!((access - 1.0).abs() < 1e-9);
+            // ToR-uplink tier + core-uplink tier = 2.0 total.
+            assert!((fabric - 2.0).abs() < 1e-9, "fabric {fabric}");
+        }
+    }
+
+    #[test]
+    fn diff_names_the_drifting_link() {
+        let t = small_leaf_spine();
+        let mut live = Ledger::new(&t, 0.9);
+        let shadow = live.clone();
+        live.commit(t.hosts[0], 1e9);
+        let err = live.diff(&shadow).unwrap_err();
+        assert!(err.contains("ledger drift on link"), "{err}");
+        assert!(err.contains("↔"), "must name both endpoints: {err}");
+    }
+
+    #[test]
+    fn committed_bits_roundtrip_is_exact() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        l.commit(t.hosts[0], 1.1e9);
+        l.commit(t.hosts[1], 0.3e9);
+        let bits = l.committed_bits();
+        let mut fresh = Ledger::new(&t, 0.9);
+        fresh.set_committed_bits(&bits);
+        for (a, b) in l.links().iter().zip(fresh.links()) {
+            assert_eq!(a.committed_bps.to_bits(), b.committed_bps.to_bits());
+        }
+        assert!(fresh.diff(&l).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "on link")]
+    fn overbook_panic_names_the_link() {
+        let t = small_leaf_spine();
+        let mut l = Ledger::new(&t, 0.9);
+        l.commit(t.hosts[0], 20e9);
     }
 
     #[test]

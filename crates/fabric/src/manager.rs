@@ -116,7 +116,10 @@ impl TenantState {
         }
     }
 
-    fn can_go(self, next: TenantState) -> bool {
+    /// Is `self → next` a legal lifecycle transition? Public so other
+    /// state-machine owners (the fabricd service) enforce the same
+    /// rules as [`FabricManager`].
+    pub fn can_go(self, next: TenantState) -> bool {
         use TenantState::*;
         matches!(
             (self, next),
@@ -524,20 +527,11 @@ impl FabricManager {
             ) {
                 let hose = t.planned.tokens_per_vm * self.cfg.bu_bps;
                 for &h in &t.planned.hosts {
-                    shadow.commit_unchecked(h, hose);
+                    shadow.replay_commit(h, hose);
                 }
             }
         }
-        for (live, want) in self.ledger.links().iter().zip(shadow.links()) {
-            let tol = 1.0 + 1e-9 * live.cap_bps;
-            if (live.committed_bps - want.committed_bps).abs() > tol {
-                return Err(format!(
-                    "ledger drift on link {}:{} — live {:.0} bps vs rebuilt {:.0} bps",
-                    live.node, live.port, live.committed_bps, want.committed_bps
-                ));
-            }
-        }
-        Ok(())
+        self.ledger.diff(&shadow)
     }
 }
 

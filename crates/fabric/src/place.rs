@@ -61,6 +61,9 @@ pub struct Placer {
     vms: Vec<usize>,
     /// Committed hose bps per host (indexed like `hosts`).
     hose: Vec<f64>,
+    /// Cordoned hosts take no new placements (existing VMs stay until
+    /// drained); indexed like `hosts`.
+    cordoned: Vec<bool>,
     host_idx: HashMap<u32, usize>,
 }
 
@@ -79,6 +82,7 @@ impl Placer {
             max_vms_per_host,
             vms: vec![0; hosts.len()],
             hose: vec![0.0; hosts.len()],
+            cordoned: vec![false; hosts.len()],
             host_idx,
         }
     }
@@ -93,11 +97,38 @@ impl Placer {
         self.vms[self.host_idx[&host.raw()]]
     }
 
+    /// Committed hose bps currently on `host`.
+    pub fn hose_on(&self, host: NodeId) -> f64 {
+        self.hose[self.host_idx[&host.raw()]]
+    }
+
+    /// Mark `host` cordoned (`true`): it takes no new placements until
+    /// uncordoned. Existing VMs are untouched — draining them is the
+    /// manager's job.
+    ///
+    /// # Panics
+    /// Panics if `host` is unknown to the placer.
+    pub fn set_cordoned(&mut self, host: NodeId, cordoned: bool) {
+        let i = *self
+            .host_idx
+            .get(&host.raw())
+            .unwrap_or_else(|| panic!("cordon target {host} is not a placer host"));
+        self.cordoned[i] = cordoned;
+    }
+
+    /// Is `host` cordoned?
+    pub fn is_cordoned(&self, host: NodeId) -> bool {
+        self.cordoned[self.host_idx[&host.raw()]]
+    }
+
     fn pick(&self, ledger: &Ledger, hose_bps: f64, used: &[NodeId]) -> Result<usize, RejectReason> {
         let mut best: Option<usize> = None;
         let mut saw_slot = false;
         for i in 0..self.hosts.len() {
-            if self.vms[i] >= self.max_vms_per_host || used.contains(&self.hosts[i]) {
+            if self.vms[i] >= self.max_vms_per_host
+                || self.cordoned[i]
+                || used.contains(&self.hosts[i])
+            {
                 continue;
             }
             saw_slot = true;
@@ -190,6 +221,69 @@ impl Placer {
             if self.hose[i] < 0.0 {
                 self.hose[i] = 0.0; // float dust
             }
+        }
+    }
+
+    /// Place exactly one VM of `hose_bps`, avoiding the hosts in
+    /// `avoid` (the tenant's surviving placements — anti-affinity) on
+    /// top of the usual slot-cap and cordon filters. Commits the ledger
+    /// on success. This is the drain-migration primitive: the caller
+    /// releases the VM's old host separately and rolls back on failure.
+    pub fn place_one_avoiding(
+        &mut self,
+        ledger: &mut Ledger,
+        hose_bps: f64,
+        avoid: &[NodeId],
+    ) -> Result<NodeId, RejectReason> {
+        let i = self.pick(ledger, hose_bps, avoid)?;
+        let h = self.hosts[i];
+        ledger.commit(h, hose_bps);
+        self.vms[i] += 1;
+        self.hose[i] += hose_bps;
+        Ok(h)
+    }
+
+    /// Adjust the committed-hose tally of `host` by `delta_bps` without
+    /// changing its VM count — the placer half of an in-place tenant
+    /// resize (the ledger delta is committed/released by the caller,
+    /// which owns the all-or-nothing check across the tenant's hosts).
+    pub fn adjust_hose(&mut self, host: NodeId, delta_bps: f64) {
+        let i = self.host_idx[&host.raw()];
+        self.hose[i] += delta_bps;
+        if self.hose[i] < 0.0 {
+            self.hose[i] = 0.0; // float dust
+        }
+    }
+
+    /// Snapshot the per-host occupancy as `(host_raw, vms, hose_bits)`
+    /// rows in host order, skipping empty uncordoned hosts. Hose totals
+    /// are IEEE-754 bit patterns so restore is byte-exact (LoadSpread
+    /// ties compare these floats).
+    pub fn dump_state(&self) -> Vec<(u32, usize, u64)> {
+        (0..self.hosts.len())
+            .filter(|&i| self.vms[i] > 0 || self.hose[i] != 0.0 || self.cordoned[i])
+            .map(|i| (self.hosts[i].raw(), self.vms[i], self.hose[i].to_bits()))
+            .collect()
+    }
+
+    /// Restore occupancy captured by [`Placer::dump_state`] into a fresh
+    /// placer (cordon flags travel separately — they are manager state).
+    ///
+    /// # Panics
+    /// Panics if a row names an unknown host or exceeds the slot cap.
+    pub fn restore_state(&mut self, rows: &[(u32, usize, u64)]) {
+        for &(raw, vms, hose_bits) in rows {
+            let i = *self
+                .host_idx
+                .get(&raw)
+                .unwrap_or_else(|| panic!("placer snapshot names unknown host {raw}"));
+            assert!(
+                vms <= self.max_vms_per_host,
+                "placer snapshot puts {vms} VMs on host {raw} (cap {})",
+                self.max_vms_per_host
+            );
+            self.vms[i] = vms;
+            self.hose[i] = f64::from_bits(hose_bits);
         }
     }
 }
@@ -285,6 +379,72 @@ mod tests {
         p.release(&mut ledger, &a, 1e9);
         assert_eq!(p.total_vms(), 0);
         assert!(p.place(&mut ledger, 8, 1e9).is_ok());
+    }
+
+    #[test]
+    fn cordoned_hosts_take_no_new_placements() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 4);
+        p.set_cordoned(t.hosts[0], true);
+        assert!(p.is_cordoned(t.hosts[0]));
+        let placed = p.place(&mut ledger, 2, 1e9).unwrap();
+        assert_eq!(placed, vec![t.hosts[1], t.hosts[2]]);
+        p.set_cordoned(t.hosts[0], false);
+        let placed2 = p.place(&mut ledger, 1, 1e9).unwrap();
+        assert_eq!(placed2, vec![t.hosts[0]]);
+    }
+
+    #[test]
+    fn place_one_avoiding_respects_avoid_list_and_cordon() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::FirstFit, 4);
+        p.set_cordoned(t.hosts[1], true);
+        let h = p
+            .place_one_avoiding(&mut ledger, 1e9, &[t.hosts[0]])
+            .unwrap();
+        // Host 0 avoided, host 1 cordoned → host 2.
+        assert_eq!(h, t.hosts[2]);
+        assert_eq!(p.vms_on(t.hosts[2]), 1);
+        assert!(ledger.conservation().is_ok());
+        // Avoiding everything reports NoSlots and commits nothing.
+        let all: Vec<_> = t.hosts.clone();
+        let err = p.place_one_avoiding(&mut ledger, 1e9, &all).unwrap_err();
+        assert_eq!(err, RejectReason::NoSlots);
+        assert_eq!(p.total_vms(), 1);
+    }
+
+    #[test]
+    fn adjust_hose_moves_tallies_without_vm_counts() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::LoadSpread, 4);
+        p.place(&mut ledger, 1, 2e9).unwrap();
+        let h = t.hosts[0];
+        assert_eq!(p.hose_on(h), 2e9);
+        p.adjust_hose(h, 1e9);
+        assert_eq!(p.hose_on(h), 3e9);
+        assert_eq!(p.vms_on(h), 1);
+        p.adjust_hose(h, -3e9);
+        assert_eq!(p.hose_on(h), 0.0);
+    }
+
+    #[test]
+    fn dump_restore_round_trips_occupancy_exactly() {
+        let t = topo();
+        let mut ledger = Ledger::new(&t, 0.9);
+        let mut p = Placer::new(&t.hosts, Policy::LoadSpread, 4);
+        p.place(&mut ledger, 3, 1.5e9).unwrap();
+        p.place(&mut ledger, 2, 0.7e9).unwrap();
+        let rows = p.dump_state();
+        let mut q = Placer::new(&t.hosts, Policy::LoadSpread, 4);
+        q.restore_state(&rows);
+        for &h in &t.hosts {
+            assert_eq!(q.vms_on(h), p.vms_on(h), "host {h}");
+            assert_eq!(q.hose_on(h).to_bits(), p.hose_on(h).to_bits(), "host {h}");
+        }
+        assert_eq!(q.dump_state(), rows);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The fabric control-plane service: the `fabric` crate's
+//! ledger/placement/admission machinery operated *online* behind a
+//! typed command/query API.
+//!
+//! PR 5's [`fabric::FabricManager`] replays an immutable batch plan; a
+//! production vFabric is operated live — tenants resize, switches get
+//! cordoned and drained, pods get added, and the control plane must
+//! survive restarts without violating any admitted guarantee. This
+//! crate owns that service:
+//!
+//! * [`ops`] — [`FabricOp`]/[`FabricQuery`]/[`FabricReply`] with a
+//!   canonical single-line wire form; the encoded bytes of every
+//!   applied op and its reply feed the service's determinism digest.
+//! * [`service`] — [`FabricService`]: a paced op queue applied in
+//!   `(timestamp, seq)` order; tenant CRUD plus in-place **resize**
+//!   (admissibility-checked delta commit/release on the existing ECMP
+//!   spread — no depart/re-admit round trip); **cordon/drain/expand**
+//!   (all-or-nothing migration off drained hosts, spread-table
+//!   rebuilds around cordoned aggs/cores and added pods); and the same
+//!   conservation audit as the batch manager.
+//! * [`snapshot`] — versioned serialization of tenants + ledger +
+//!   admission-queue state with byte-exact (IEEE-754 bit pattern)
+//!   floats; a restored service passes the conservation audit, re-
+//!   snapshots byte-identically (the `SnapshotRoundTrip` invariant),
+//!   and continues the original digest stream.
+
+#![deny(missing_docs)]
+
+pub mod ops;
+pub mod service;
+pub mod snapshot;
+
+pub use ops::{FabricOp, FabricQuery, FabricReply, Moved};
+pub use service::{Applied, FabricService, SvcTenant};
+pub use snapshot::HEADER as SNAPSHOT_HEADER;

@@ -1,0 +1,623 @@
+//! The typed management API: commands, queries and replies, each with
+//! a canonical single-line wire form.
+//!
+//! The wire form is the determinism contract: the service folds the
+//! encoded bytes of every applied op and its reply into its digest, so
+//! two runs that process the same op stream are byte-comparable in
+//! O(1). Encoding is canonical — `decode(encode(x)) == x` and
+//! `encode(decode(s)) == s` for any valid `s` — which the snapshot
+//! format relies on to round-trip the pending queue exactly.
+//!
+//! Floats (hose tokens) travel as shortest-round-trip decimal (Rust's
+//! `f64` `Display`), which is canonical and exact.
+
+use fabric::RejectReason;
+
+/// A state-mutating operator command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricOp {
+    /// Request admission of a new tenant.
+    Admit {
+        /// Tenant name (no whitespace).
+        name: String,
+        /// VM count.
+        n_vms: usize,
+        /// Hose tokens per VM (B_min = tokens × B_u).
+        tokens_per_vm: f64,
+        /// Lifetime from the admission decision (ns); the service
+        /// departs the tenant automatically when it expires.
+        lifetime: u64,
+    },
+    /// Depart tenant `tenant` now (ahead of its lifetime).
+    Depart {
+        /// Service tenant id.
+        tenant: u32,
+    },
+    /// Resize an admitted tenant's hose guarantee in place.
+    Resize {
+        /// Service tenant id.
+        tenant: u32,
+        /// New hose tokens per VM.
+        new_tokens_per_vm: f64,
+    },
+    /// Cordon a node: no new placements touch it (an agg/core cordon
+    /// also rebuilds the spread table around it).
+    Cordon {
+        /// Raw node id.
+        node: u32,
+    },
+    /// Reverse a cordon.
+    Uncordon {
+        /// Raw node id.
+        node: u32,
+    },
+    /// Cordon a node and migrate every placement off it,
+    /// all-or-nothing.
+    Drain {
+        /// Raw node id.
+        node: u32,
+    },
+}
+
+impl FabricOp {
+    /// Stable lowercase label (obs events, tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FabricOp::Admit { .. } => "admit",
+            FabricOp::Depart { .. } => "depart",
+            FabricOp::Resize { .. } => "resize",
+            FabricOp::Cordon { .. } => "cordon",
+            FabricOp::Uncordon { .. } => "uncordon",
+            FabricOp::Drain { .. } => "drain",
+        }
+    }
+
+    /// Canonical wire form.
+    pub fn encode(&self) -> String {
+        match self {
+            FabricOp::Admit {
+                name,
+                n_vms,
+                tokens_per_vm,
+                lifetime,
+            } => {
+                debug_assert!(
+                    !name.is_empty() && !name.contains(char::is_whitespace),
+                    "tenant names must be non-empty single tokens: {name:?}"
+                );
+                format!("admit {name} {n_vms} {tokens_per_vm} {lifetime}")
+            }
+            FabricOp::Depart { tenant } => format!("depart {tenant}"),
+            FabricOp::Resize {
+                tenant,
+                new_tokens_per_vm,
+            } => format!("resize {tenant} {new_tokens_per_vm}"),
+            FabricOp::Cordon { node } => format!("cordon {node}"),
+            FabricOp::Uncordon { node } => format!("uncordon {node}"),
+            FabricOp::Drain { node } => format!("drain {node}"),
+        }
+    }
+
+    /// Parse a wire line produced by [`FabricOp::encode`].
+    pub fn decode(s: &str) -> Result<FabricOp, String> {
+        let mut it = s.split_whitespace();
+        let verb = it.next().ok_or("empty op line")?;
+        let op = match verb {
+            "admit" => FabricOp::Admit {
+                name: {
+                    let n = it.next().ok_or("admit: missing name")?;
+                    n.to_string()
+                },
+                n_vms: field(&mut it, "admit", "n_vms")?,
+                tokens_per_vm: field(&mut it, "admit", "tokens_per_vm")?,
+                lifetime: field(&mut it, "admit", "lifetime")?,
+            },
+            "depart" => FabricOp::Depart {
+                tenant: field(&mut it, "depart", "tenant")?,
+            },
+            "resize" => FabricOp::Resize {
+                tenant: field(&mut it, "resize", "tenant")?,
+                new_tokens_per_vm: field(&mut it, "resize", "new_tokens_per_vm")?,
+            },
+            "cordon" => FabricOp::Cordon {
+                node: field(&mut it, "cordon", "node")?,
+            },
+            "uncordon" => FabricOp::Uncordon {
+                node: field(&mut it, "uncordon", "node")?,
+            },
+            "drain" => FabricOp::Drain {
+                node: field(&mut it, "drain", "node")?,
+            },
+            other => return Err(format!("unknown op verb {other:?}")),
+        };
+        match it.next() {
+            None => Ok(op),
+            Some(extra) => Err(format!("trailing token {extra:?} after {verb} op")),
+        }
+    }
+}
+
+/// A read-only query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricQuery {
+    /// One tenant's record.
+    Tenant {
+        /// Service tenant id.
+        tenant: u32,
+    },
+    /// Ledger occupancy summary.
+    Ledger,
+    /// Service counters.
+    Stats,
+}
+
+impl FabricQuery {
+    /// Canonical wire form.
+    pub fn encode(&self) -> String {
+        match self {
+            FabricQuery::Tenant { tenant } => format!("tenant {tenant}"),
+            FabricQuery::Ledger => "ledger".into(),
+            FabricQuery::Stats => "stats".into(),
+        }
+    }
+
+    /// Parse a wire line produced by [`FabricQuery::encode`].
+    pub fn decode(s: &str) -> Result<FabricQuery, String> {
+        let mut it = s.split_whitespace();
+        let q = match it.next().ok_or("empty query line")? {
+            "tenant" => FabricQuery::Tenant {
+                tenant: field(&mut it, "tenant", "tenant")?,
+            },
+            "ledger" => FabricQuery::Ledger,
+            "stats" => FabricQuery::Stats,
+            other => return Err(format!("unknown query verb {other:?}")),
+        };
+        match it.next() {
+            None => Ok(q),
+            Some(extra) => Err(format!("trailing token {extra:?} in query")),
+        }
+    }
+}
+
+/// One migrated VM: `(tenant, vm index, from host raw, to host raw)`.
+pub type Moved = (u32, u32, u32, u32);
+
+/// The service's answer to an op or query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricReply {
+    /// Admission succeeded; `hosts[i]` holds VM *i*.
+    Admitted {
+        /// Assigned service tenant id.
+        tenant: u32,
+        /// Raw host ids, one per VM.
+        hosts: Vec<u32>,
+    },
+    /// Admission refused.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Tenant departed; capacity freed.
+    Departed {
+        /// Service tenant id.
+        tenant: u32,
+    },
+    /// In-place resize committed.
+    Resized {
+        /// Service tenant id.
+        tenant: u32,
+        /// Hose tokens per VM before.
+        old_tokens: f64,
+        /// Hose tokens per VM after.
+        new_tokens: f64,
+    },
+    /// Resize refused; the old guarantee stands untouched.
+    ResizeDenied {
+        /// Service tenant id.
+        tenant: u32,
+        /// First blocking condition.
+        detail: String,
+    },
+    /// Node cordoned (spread rebuilt when it is an agg/core).
+    Cordoned {
+        /// Raw node id.
+        node: u32,
+    },
+    /// Cordon reversed.
+    Uncordoned {
+        /// Raw node id.
+        node: u32,
+    },
+    /// Drain completed: the node is cordoned and empty.
+    Drained {
+        /// Raw node id.
+        node: u32,
+        /// Every migrated VM.
+        moved: Vec<Moved>,
+    },
+    /// Drain refused; every partial migration was rolled back and the
+    /// cordon reverted.
+    DrainFailed {
+        /// Raw node id.
+        node: u32,
+        /// First blocking condition.
+        detail: String,
+    },
+    /// Tenant record (answer to [`FabricQuery::Tenant`]).
+    TenantInfo {
+        /// Service tenant id.
+        tenant: u32,
+        /// Lifecycle state label.
+        state: &'static str,
+        /// VM count.
+        n_vms: u32,
+        /// Hose tokens per VM currently in force.
+        tokens_per_vm: f64,
+        /// Raw host ids, one per VM.
+        hosts: Vec<u32>,
+    },
+    /// Ledger summary (answer to [`FabricQuery::Ledger`]).
+    LedgerInfo {
+        /// Tracked undirected links.
+        n_links: u32,
+        /// Mean access-tier committed fraction of η·cap.
+        utilization: f64,
+    },
+    /// Counters (answer to [`FabricQuery::Stats`]).
+    Stats {
+        /// Tenants currently admitted/qualifying/guaranteed.
+        active: u32,
+        /// Admissions ever granted.
+        admitted: u32,
+        /// Admissions ever refused.
+        rejected: u32,
+        /// Resizes committed.
+        resized: u32,
+        /// Resizes denied.
+        resize_denied: u32,
+        /// VMs migrated by drains.
+        drained_vms: u32,
+    },
+    /// The op referenced a tenant/node the service does not know, or
+    /// one in the wrong state.
+    Error {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl FabricReply {
+    /// Canonical wire form.
+    pub fn encode(&self) -> String {
+        match self {
+            FabricReply::Admitted { tenant, hosts } => {
+                format!("admitted {tenant} {}", join_u32(hosts))
+            }
+            FabricReply::Rejected { reason } => format!("rejected {}", reason.label()),
+            FabricReply::Departed { tenant } => format!("departed {tenant}"),
+            FabricReply::Resized {
+                tenant,
+                old_tokens,
+                new_tokens,
+            } => format!("resized {tenant} {old_tokens} {new_tokens}"),
+            FabricReply::ResizeDenied { tenant, detail } => {
+                format!("resize-denied {tenant} {detail}")
+            }
+            FabricReply::Cordoned { node } => format!("cordoned {node}"),
+            FabricReply::Uncordoned { node } => format!("uncordoned {node}"),
+            FabricReply::Drained { node, moved } => {
+                let list = if moved.is_empty() {
+                    "-".to_string()
+                } else {
+                    moved
+                        .iter()
+                        .map(|(t, v, f, to)| format!("{t}:{v}:{f}:{to}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!("drained {node} {list}")
+            }
+            FabricReply::DrainFailed { node, detail } => format!("drain-failed {node} {detail}"),
+            FabricReply::TenantInfo {
+                tenant,
+                state,
+                n_vms,
+                tokens_per_vm,
+                hosts,
+            } => format!(
+                "tenant-info {tenant} {state} {n_vms} {tokens_per_vm} {}",
+                join_u32(hosts)
+            ),
+            FabricReply::LedgerInfo {
+                n_links,
+                utilization,
+            } => format!("ledger-info {n_links} {utilization}"),
+            FabricReply::Stats {
+                active,
+                admitted,
+                rejected,
+                resized,
+                resize_denied,
+                drained_vms,
+            } => format!(
+                "stats {active} {admitted} {rejected} {resized} {resize_denied} {drained_vms}"
+            ),
+            FabricReply::Error { detail } => format!("err {detail}"),
+        }
+    }
+
+    /// Parse a wire line produced by [`FabricReply::encode`].
+    pub fn decode(s: &str) -> Result<FabricReply, String> {
+        let (verb, rest) = match s.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (s, ""),
+        };
+        let mut it = rest.split_whitespace();
+        let reply = match verb {
+            "admitted" => FabricReply::Admitted {
+                tenant: field(&mut it, verb, "tenant")?,
+                hosts: split_u32(it.next().ok_or("admitted: missing hosts")?)?,
+            },
+            "rejected" => FabricReply::Rejected {
+                reason: match it.next().ok_or("rejected: missing reason")? {
+                    "no_slots" => RejectReason::NoSlots,
+                    "no_capacity" => RejectReason::NoCapacity,
+                    other => return Err(format!("unknown reject reason {other:?}")),
+                },
+            },
+            "departed" => FabricReply::Departed {
+                tenant: field(&mut it, verb, "tenant")?,
+            },
+            "resized" => FabricReply::Resized {
+                tenant: field(&mut it, verb, "tenant")?,
+                old_tokens: field(&mut it, verb, "old_tokens")?,
+                new_tokens: field(&mut it, verb, "new_tokens")?,
+            },
+            "resize-denied" => {
+                let (tenant, detail) = id_and_rest(rest, verb)?;
+                return Ok(FabricReply::ResizeDenied { tenant, detail });
+            }
+            "cordoned" => FabricReply::Cordoned {
+                node: field(&mut it, verb, "node")?,
+            },
+            "uncordoned" => FabricReply::Uncordoned {
+                node: field(&mut it, verb, "node")?,
+            },
+            "drained" => FabricReply::Drained {
+                node: field(&mut it, verb, "node")?,
+                moved: {
+                    let list = it.next().ok_or("drained: missing move list")?;
+                    if list == "-" {
+                        Vec::new()
+                    } else {
+                        list.split(',')
+                            .map(|m| {
+                                let p: Vec<&str> = m.split(':').collect();
+                                if p.len() != 4 {
+                                    return Err(format!("bad move entry {m:?}"));
+                                }
+                                Ok((
+                                    num(p[0], "move tenant")?,
+                                    num(p[1], "move vm")?,
+                                    num(p[2], "move from")?,
+                                    num(p[3], "move to")?,
+                                ))
+                            })
+                            .collect::<Result<_, String>>()?
+                    }
+                },
+            },
+            "drain-failed" => {
+                let (node, detail) = id_and_rest(rest, verb)?;
+                return Ok(FabricReply::DrainFailed { node, detail });
+            }
+            "tenant-info" => FabricReply::TenantInfo {
+                tenant: field(&mut it, verb, "tenant")?,
+                state: state_label(it.next().ok_or("tenant-info: missing state")?)?,
+                n_vms: field(&mut it, verb, "n_vms")?,
+                tokens_per_vm: field(&mut it, verb, "tokens_per_vm")?,
+                hosts: split_u32(it.next().ok_or("tenant-info: missing hosts")?)?,
+            },
+            "ledger-info" => FabricReply::LedgerInfo {
+                n_links: field(&mut it, verb, "n_links")?,
+                utilization: field(&mut it, verb, "utilization")?,
+            },
+            "stats" => FabricReply::Stats {
+                active: field(&mut it, verb, "active")?,
+                admitted: field(&mut it, verb, "admitted")?,
+                rejected: field(&mut it, verb, "rejected")?,
+                resized: field(&mut it, verb, "resized")?,
+                resize_denied: field(&mut it, verb, "resize_denied")?,
+                drained_vms: field(&mut it, verb, "drained_vms")?,
+            },
+            "err" => {
+                return Ok(FabricReply::Error {
+                    detail: rest.to_string(),
+                })
+            }
+            other => return Err(format!("unknown reply verb {other:?}")),
+        };
+        match it.next() {
+            None => Ok(reply),
+            Some(extra) => Err(format!("trailing token {extra:?} after {verb} reply")),
+        }
+    }
+}
+
+fn field<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace,
+    verb: &str,
+    name: &str,
+) -> Result<T, String> {
+    let tok = it.next().ok_or_else(|| format!("{verb}: missing {name}"))?;
+    tok.parse()
+        .map_err(|_| format!("{verb}: bad {name} {tok:?}"))
+}
+
+fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+/// `<id> <free text...>` — detail strings may contain spaces, so they
+/// must be the final field.
+fn id_and_rest(rest: &str, verb: &str) -> Result<(u32, String), String> {
+    let (id, detail) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("{verb}: missing detail"))?;
+    Ok((num(id, "id")?, detail.to_string()))
+}
+
+fn join_u32(v: &[u32]) -> String {
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn split_u32(s: &str) -> Result<Vec<u32>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|x| num(x, "id list entry")).collect()
+}
+
+fn state_label(s: &str) -> Result<&'static str, String> {
+    for l in [
+        "requested",
+        "admitted",
+        "qualifying",
+        "guaranteed",
+        "departing",
+        "reclaimed",
+        "rejected",
+    ] {
+        if l == s {
+            return Ok(l);
+        }
+    }
+    Err(format!("unknown tenant state {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_wire_round_trips() {
+        let ops = vec![
+            FabricOp::Admit {
+                name: "t0".into(),
+                n_vms: 4,
+                tokens_per_vm: 2.5,
+                lifetime: 5_000_000,
+            },
+            FabricOp::Depart { tenant: 3 },
+            FabricOp::Resize {
+                tenant: 1,
+                new_tokens_per_vm: 0.125,
+            },
+            FabricOp::Cordon { node: 17 },
+            FabricOp::Uncordon { node: 17 },
+            FabricOp::Drain { node: 9 },
+        ];
+        for op in ops {
+            let wire = op.encode();
+            let back = FabricOp::decode(&wire).unwrap();
+            assert_eq!(back, op, "{wire}");
+            assert_eq!(back.encode(), wire, "encoding must be canonical");
+        }
+    }
+
+    #[test]
+    fn query_wire_round_trips() {
+        for q in [
+            FabricQuery::Tenant { tenant: 2 },
+            FabricQuery::Ledger,
+            FabricQuery::Stats,
+        ] {
+            let wire = q.encode();
+            assert_eq!(FabricQuery::decode(&wire).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn reply_wire_round_trips() {
+        let replies = vec![
+            FabricReply::Admitted {
+                tenant: 0,
+                hosts: vec![4, 9, 12],
+            },
+            FabricReply::Rejected {
+                reason: RejectReason::NoCapacity,
+            },
+            FabricReply::Departed { tenant: 7 },
+            FabricReply::Resized {
+                tenant: 7,
+                old_tokens: 2.0,
+                new_tokens: 3.5,
+            },
+            FabricReply::ResizeDenied {
+                tenant: 7,
+                detail: "blocked on link 4:1 (4 ↔ 5)".into(),
+            },
+            FabricReply::Cordoned { node: 3 },
+            FabricReply::Uncordoned { node: 3 },
+            FabricReply::Drained {
+                node: 3,
+                moved: vec![(0, 1, 3, 8), (2, 0, 3, 9)],
+            },
+            FabricReply::Drained {
+                node: 4,
+                moved: vec![],
+            },
+            FabricReply::DrainFailed {
+                node: 3,
+                detail: "no admissible host for tenant 2".into(),
+            },
+            FabricReply::TenantInfo {
+                tenant: 1,
+                state: "guaranteed",
+                n_vms: 2,
+                tokens_per_vm: 1.5,
+                hosts: vec![5, 6],
+            },
+            FabricReply::LedgerInfo {
+                n_links: 48,
+                utilization: 0.375,
+            },
+            FabricReply::Stats {
+                active: 3,
+                admitted: 10,
+                rejected: 2,
+                resized: 4,
+                resize_denied: 1,
+                drained_vms: 6,
+            },
+            FabricReply::Error {
+                detail: "tenant 99 unknown".into(),
+            },
+        ];
+        for r in replies {
+            let wire = r.encode();
+            let back = FabricReply::decode(&wire).unwrap();
+            assert_eq!(back, r, "{wire}");
+            assert_eq!(back.encode(), wire, "encoding must be canonical");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(FabricOp::decode("").is_err());
+        assert!(FabricOp::decode("warp 1").is_err());
+        assert!(FabricOp::decode("depart").is_err());
+        assert!(FabricOp::decode("depart x").is_err());
+        assert!(FabricOp::decode("depart 1 2").is_err());
+        assert!(FabricReply::decode("admitted 0").is_err());
+        assert!(FabricReply::decode("rejected because").is_err());
+        assert!(FabricReply::decode("drained 1 0:1:2").is_err());
+    }
+}

@@ -1,0 +1,1167 @@
+//! The long-running control-plane service.
+//!
+//! [`FabricService`] wraps the `fabric` crate's ledger/placement
+//! machinery behind the [`FabricOp`]/[`FabricQuery`] API. Determinism
+//! rules:
+//!
+//! * Ops are queued with a submission timestamp and applied strictly in
+//!   `(timestamp, seq)` order, paced one per
+//!   [`AdmissionCfg::decision_gap`] exactly like the batch planner —
+//!   so the reply stream is a pure function of the op stream, never of
+//!   wall-clock or caller interleaving.
+//! * Scheduled departures interleave with ops in timestamp order: a
+//!   departure at or before an op's decision instant frees its capacity
+//!   first, matching [`fabric::plan`].
+//! * Every applied op folds its encoded bytes, its reply's bytes, and
+//!   its decision time into an FNV digest ([`FabricService::digest`]).
+//!   The digest state rides inside snapshots, so a restored service
+//!   continues the original stream — byte-identity with an
+//!   uninterrupted run is an O(1) comparison.
+//! * No hash-map iteration anywhere: tenants are scanned by id,
+//!   the cordon set is a `BTreeSet`, heap keys are unique.
+
+use crate::ops::{FabricOp, FabricQuery, FabricReply, Moved};
+use fabric::{AdmissionCfg, Ledger, Placer, TenantState};
+use netsim::{NodeId, Time};
+use obs::{Category, DetHash, Event, ObsHandle, Snapshottable};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::Arc;
+use topology::Topo;
+
+/// One tenant as the service sees it.
+#[derive(Debug, Clone)]
+pub struct SvcTenant {
+    /// Tenant name from the admit op.
+    pub name: String,
+    /// Hose tokens per VM currently in force (resize updates this).
+    pub tokens_per_vm: f64,
+    /// Lifecycle state.
+    pub state: TenantState,
+    /// Host of VM *i* (drain migrations update entries in place).
+    pub hosts: Vec<NodeId>,
+    /// Admission decision instant (ns).
+    pub admitted_at: Time,
+    /// Scheduled departure (`admitted_at + lifetime`).
+    pub depart_at: Time,
+    /// When the tenant actually departed, once it has.
+    pub departed_at: Option<Time>,
+    /// When the tenant last entered `Qualifying`.
+    pub qualifying_since: Time,
+    /// Open guarantee span start, while `Guaranteed`.
+    pub guaranteed_at: Option<Time>,
+    /// Time-to-guarantee: first `Guaranteed` − admission (ns).
+    pub ttg_ns: Option<u64>,
+    /// Closed `[enter, exit)` guarantee windows.
+    pub guaranteed_spans: Vec<(Time, Time)>,
+    /// Committed resizes.
+    pub resizes: u32,
+    /// Drains that moved at least one of this tenant's VMs.
+    pub migrations: u32,
+}
+
+impl SvcTenant {
+    /// Is the tenant holding capacity right now?
+    pub fn is_active(&self) -> bool {
+        matches!(
+            self.state,
+            TenantState::Admitted | TenantState::Qualifying | TenantState::Guaranteed
+        )
+    }
+}
+
+/// One op application: when it was decided and what the service said.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Submission timestamp of the op.
+    pub submitted: Time,
+    /// Decision instant (submission plus queue pacing).
+    pub applied: Time,
+    /// Submission sequence number.
+    pub seq: u64,
+    /// The op itself.
+    pub op: FabricOp,
+    /// The service's reply.
+    pub reply: FabricReply,
+}
+
+/// The control-plane service. See the module docs for the determinism
+/// contract; see [`crate::snapshot`] for the serialization format.
+pub struct FabricService {
+    pub(crate) cfg: AdmissionCfg,
+    pub(crate) topo: Arc<Topo>,
+    pub(crate) ledger: Ledger,
+    /// Zero-commitment ledger over the current topology and cordon set,
+    /// cloned for audit shadow rebuilds.
+    pub(crate) baseline: Ledger,
+    pub(crate) placer: Placer,
+    pub(crate) tenants: Vec<SvcTenant>,
+    /// Raw ids of cordoned nodes (hosts, ToRs, aggs, cores).
+    pub(crate) cordoned: BTreeSet<u32>,
+    /// Pending ops: `(submitted, seq, op)` in submission order.
+    pub(crate) queue: VecDeque<(Time, u64, FabricOp)>,
+    pub(crate) next_seq: u64,
+    pub(crate) last_submit: Time,
+    /// Earliest instant the next op may be decided (pacing).
+    pub(crate) next_slot: Time,
+    pub(crate) clock: Time,
+    pub(crate) n_rejected: u32,
+    pub(crate) n_resized: u32,
+    pub(crate) n_resize_denied: u32,
+    pub(crate) n_drained_vms: u32,
+    pub(crate) digest: DetHash,
+    /// `(depart_at, tenant)` — entries go stale when a tenant departs
+    /// early; [`FabricService::peek_departure`] skips them lazily.
+    pub(crate) departs: BinaryHeap<Reverse<(Time, u32)>>,
+    /// `(departed_at + reclaim_grace, tenant)`.
+    pub(crate) reclaims: BinaryHeap<Reverse<(Time, u32)>>,
+    pub(crate) obs: ObsHandle,
+}
+
+impl FabricService {
+    /// A fresh service over `topo`.
+    pub fn new(topo: Arc<Topo>, cfg: AdmissionCfg) -> Self {
+        let baseline = Ledger::new(&topo, cfg.headroom);
+        let ledger = baseline.clone();
+        let placer = Placer::new(&topo.hosts, cfg.policy, cfg.max_vms_per_host);
+        Self {
+            cfg,
+            topo,
+            ledger,
+            baseline,
+            placer,
+            tenants: Vec::new(),
+            cordoned: BTreeSet::new(),
+            queue: VecDeque::new(),
+            next_seq: 0,
+            last_submit: 0,
+            next_slot: 0,
+            clock: 0,
+            n_rejected: 0,
+            n_resized: 0,
+            n_resize_denied: 0,
+            n_drained_vms: 0,
+            digest: DetHash::new(),
+            departs: BinaryHeap::new(),
+            reclaims: BinaryHeap::new(),
+            obs: ObsHandle::disabled(),
+        }
+    }
+
+    /// Attach a flight-recorder handle for op and tenant events.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The admission configuration.
+    pub fn cfg(&self) -> &AdmissionCfg {
+        &self.cfg
+    }
+
+    /// The live ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The topology the service manages.
+    pub fn topo(&self) -> &Topo {
+        &self.topo
+    }
+
+    /// All tenant records, id order (id = index).
+    pub fn tenants(&self) -> &[SvcTenant] {
+        &self.tenants
+    }
+
+    /// Raw ids of every cordoned node.
+    pub fn cordoned(&self) -> &BTreeSet<u32> {
+        &self.cordoned
+    }
+
+    /// Admissions refused so far.
+    pub fn n_rejected(&self) -> u32 {
+        self.n_rejected
+    }
+
+    /// Running determinism digest over every applied op and reply.
+    pub fn digest(&self) -> u64 {
+        self.digest.digest()
+    }
+
+    /// Count of tenants currently in `state`.
+    pub fn count(&self, state: TenantState) -> usize {
+        self.tenants.iter().filter(|t| t.state == state).count()
+    }
+
+    /// Ids and `qualifying_since` of tenants currently in `Qualifying`.
+    pub fn qualifying(&self) -> Vec<(u32, Time)> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TenantState::Qualifying)
+            .map(|(i, t)| (i as u32, t.qualifying_since))
+            .collect()
+    }
+
+    /// Enqueue `op`, submitted at `now`. Returns its sequence number.
+    /// Submissions must be in nondecreasing time order.
+    pub fn submit(&mut self, now: Time, op: FabricOp) -> u64 {
+        assert!(
+            now >= self.last_submit,
+            "op submitted at {now} ns after one at {} ns",
+            self.last_submit
+        );
+        self.last_submit = now;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back((now, seq, op));
+        seq
+    }
+
+    /// Answer a read-only query against current state (not queued, not
+    /// digested — queries never mutate).
+    pub fn query(&self, q: FabricQuery) -> FabricReply {
+        match q {
+            FabricQuery::Tenant { tenant } => match self.tenants.get(tenant as usize) {
+                Some(t) => FabricReply::TenantInfo {
+                    tenant,
+                    state: t.state.label(),
+                    n_vms: t.hosts.len() as u32,
+                    tokens_per_vm: t.tokens_per_vm,
+                    hosts: t.hosts.iter().map(|h| h.raw()).collect(),
+                },
+                None => FabricReply::Error {
+                    detail: format!("tenant {tenant} unknown"),
+                },
+            },
+            FabricQuery::Ledger => FabricReply::LedgerInfo {
+                n_links: self.ledger.n_links() as u32,
+                utilization: self.ledger.utilization(),
+            },
+            FabricQuery::Stats => FabricReply::Stats {
+                active: self.tenants.iter().filter(|t| t.is_active()).count() as u32,
+                admitted: self.tenants.len() as u32,
+                rejected: self.n_rejected,
+                resized: self.n_resized,
+                resize_denied: self.n_resize_denied,
+                drained_vms: self.n_drained_vms,
+            },
+        }
+    }
+
+    /// Advance the service clock to `now`: apply every due op and
+    /// scheduled departure merged in timestamp order, then due
+    /// reclaims. Returns the ops applied, in decision order.
+    pub fn advance(&mut self, now: Time) -> Vec<Applied> {
+        assert!(now >= self.clock, "service clock went backwards");
+        self.clock = now;
+        let mut out = Vec::new();
+        loop {
+            let op_t = self
+                .queue
+                .front()
+                .map(|&(t, _, _)| t.max(self.next_slot))
+                .filter(|&t| t <= now);
+            let dep_t = self.peek_departure().filter(|&t| t <= now);
+            match (op_t, dep_t) {
+                (Some(a), Some(d)) if d <= a => self.fire_departure(),
+                (Some(a), _) => {
+                    let applied = self.fire_op(a);
+                    out.push(applied);
+                }
+                (None, Some(_)) => self.fire_departure(),
+                (None, None) => break,
+            }
+        }
+        while let Some(&Reverse((t, id))) = self.reclaims.peek() {
+            if t > now {
+                break;
+            }
+            self.reclaims.pop();
+            if self.tenants[id as usize].state == TenantState::Departing {
+                self.set_state(id, TenantState::Reclaimed, t, 0);
+            }
+        }
+        out
+    }
+
+    /// μFAB-E reports tenant `id` fully qualified at `now`.
+    ///
+    /// # Panics
+    /// Panics unless the tenant is in `Qualifying`.
+    pub fn note_qualified(&mut self, id: u32, now: Time) {
+        let i = id as usize;
+        let ttg = now.saturating_sub(self.tenants[i].admitted_at);
+        self.set_state(id, TenantState::Guaranteed, now, ttg);
+        self.tenants[i].guaranteed_at = Some(now);
+        if self.tenants[i].ttg_ns.is_none() {
+            self.tenants[i].ttg_ns = Some(ttg);
+        }
+    }
+
+    /// Conservation audit: the live ledger must satisfy per-link bounds
+    /// and match a shadow ledger rebuilt from tenant state.
+    pub fn audit(&self) -> Result<(), String> {
+        self.ledger.conservation()?;
+        let mut shadow = self.baseline.clone();
+        for t in &self.tenants {
+            if t.is_active() {
+                let hose = t.tokens_per_vm * self.cfg.bu_bps;
+                for &h in &t.hosts {
+                    shadow.replay_commit(h, hose);
+                }
+            }
+        }
+        self.ledger.diff(&shadow)
+    }
+
+    /// Grow the fabric: swap in a larger topology that preserves every
+    /// existing node id (e.g. a `three_tier` build with more pods at
+    /// the same core count), rebuild the spread table, and re-commit
+    /// every active tenant — all-or-nothing: on error the service is
+    /// unchanged.
+    pub fn expand(&mut self, new_topo: Arc<Topo>) -> Result<(), String> {
+        if new_topo.n_nodes() < self.topo.n_nodes() {
+            return Err(format!(
+                "expand target has {} nodes, current fabric has {}",
+                new_topo.n_nodes(),
+                self.topo.n_nodes()
+            ));
+        }
+        for &h in &self.topo.hosts {
+            if !new_topo.hosts.contains(&h) {
+                return Err(format!("expand target remaps host {h}"));
+            }
+        }
+        let mut placer = Placer::new(&new_topo.hosts, self.cfg.policy, self.cfg.max_vms_per_host);
+        placer.restore_state(&self.placer.dump_state());
+        apply_host_cordons(&new_topo, &self.cordoned, &mut placer);
+        let old_topo = std::mem::replace(&mut self.topo, new_topo);
+        match self.try_reseat() {
+            Ok((baseline, live)) => {
+                self.baseline = baseline;
+                self.ledger = live;
+                self.placer = placer;
+                let (n_hosts, aux) = (self.topo.hosts.len() as u32, self.ledger.n_links() as u64);
+                self.obs.rec(Category::Ops, self.clock, || Event::Op {
+                    kind: "expand",
+                    subject: n_hosts,
+                    aux,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                self.topo = old_topo;
+                Err(format!("expand rejected: {e}"))
+            }
+        }
+    }
+
+    fn set_state(&mut self, id: u32, next: TenantState, now: Time, aux: u64) {
+        let t = &mut self.tenants[id as usize];
+        assert!(
+            t.state.can_go(next),
+            "tenant {} illegal transition {} -> {} at {now} ns",
+            t.name,
+            t.state.label(),
+            next.label()
+        );
+        t.state = next;
+        let state = next.label();
+        self.obs.rec(Category::Tenant, now, || Event::Tenant {
+            tenant: id,
+            state,
+            aux,
+        });
+    }
+
+    /// Next valid scheduled departure, discarding stale heap entries
+    /// (tenants that already departed early).
+    fn peek_departure(&mut self) -> Option<Time> {
+        while let Some(&Reverse((t, id))) = self.departs.peek() {
+            let tn = &self.tenants[id as usize];
+            if tn.is_active() && tn.depart_at == t {
+                return Some(t);
+            }
+            self.departs.pop();
+        }
+        None
+    }
+
+    fn fire_departure(&mut self) {
+        let Reverse((t, id)) = self.departs.pop().expect("peeked departure");
+        self.depart_tenant(id, t);
+    }
+
+    fn depart_tenant(&mut self, id: u32, t: Time) {
+        let i = id as usize;
+        if self.tenants[i].state == TenantState::Guaranteed {
+            let enter = self.tenants[i].guaranteed_at.take().expect("open span");
+            self.tenants[i].guaranteed_spans.push((enter, t));
+        }
+        let hose = self.tenants[i].tokens_per_vm * self.cfg.bu_bps;
+        let hosts = self.tenants[i].hosts.clone();
+        self.placer.release(&mut self.ledger, &hosts, hose);
+        self.set_state(id, TenantState::Departing, t, 0);
+        self.tenants[i].departed_at = Some(t);
+        self.reclaims
+            .push(Reverse((t + self.cfg.reclaim_grace, id)));
+    }
+
+    fn fire_op(&mut self, at: Time) -> Applied {
+        let (submitted, seq, op) = self.queue.pop_front().expect("peeked op");
+        self.next_slot = at + self.cfg.decision_gap;
+        let reply = self.apply(&op, at);
+        self.digest.fold_u64(at);
+        self.digest.fold_u64(seq);
+        self.digest.fold_bytes(op.encode().as_bytes());
+        self.digest.fold_bytes(reply.encode().as_bytes());
+        let kind = op.label();
+        let subject = match &op {
+            FabricOp::Admit { .. } => match &reply {
+                FabricReply::Admitted { tenant, .. } => *tenant,
+                _ => u32::MAX,
+            },
+            FabricOp::Depart { tenant } | FabricOp::Resize { tenant, .. } => *tenant,
+            FabricOp::Cordon { node } | FabricOp::Uncordon { node } | FabricOp::Drain { node } => {
+                *node
+            }
+        };
+        let latency = at - submitted;
+        self.obs.rec(Category::Ops, at, || Event::Op {
+            kind,
+            subject,
+            aux: latency,
+        });
+        Applied {
+            submitted,
+            applied: at,
+            seq,
+            op,
+            reply,
+        }
+    }
+
+    fn apply(&mut self, op: &FabricOp, t: Time) -> FabricReply {
+        match op {
+            FabricOp::Admit {
+                name,
+                n_vms,
+                tokens_per_vm,
+                lifetime,
+            } => self.apply_admit(name, *n_vms, *tokens_per_vm, *lifetime, t),
+            FabricOp::Depart { tenant } => self.apply_depart(*tenant, t),
+            FabricOp::Resize {
+                tenant,
+                new_tokens_per_vm,
+            } => self.apply_resize(*tenant, *new_tokens_per_vm),
+            FabricOp::Cordon { node } => self.apply_cordon(*node, true),
+            FabricOp::Uncordon { node } => self.apply_cordon(*node, false),
+            FabricOp::Drain { node } => self.apply_drain(*node, t),
+        }
+    }
+
+    fn apply_admit(
+        &mut self,
+        name: &str,
+        n_vms: usize,
+        tokens: f64,
+        lifetime: u64,
+        t: Time,
+    ) -> FabricReply {
+        if n_vms == 0 || tokens <= 0.0 || lifetime == 0 {
+            return FabricReply::Error {
+                detail: format!("admit {name}: need n_vms > 0, tokens > 0, lifetime > 0"),
+            };
+        }
+        let hose = tokens * self.cfg.bu_bps;
+        match self.placer.place(&mut self.ledger, n_vms, hose) {
+            Ok(hosts) => {
+                let id = self.tenants.len() as u32;
+                self.tenants.push(SvcTenant {
+                    name: name.to_string(),
+                    tokens_per_vm: tokens,
+                    state: TenantState::Requested,
+                    hosts: hosts.clone(),
+                    admitted_at: t,
+                    depart_at: t + lifetime,
+                    departed_at: None,
+                    qualifying_since: t,
+                    guaranteed_at: None,
+                    ttg_ns: None,
+                    guaranteed_spans: Vec::new(),
+                    resizes: 0,
+                    migrations: 0,
+                });
+                self.departs.push(Reverse((t + lifetime, id)));
+                self.set_state(id, TenantState::Admitted, t, 0);
+                self.set_state(id, TenantState::Qualifying, t, 0);
+                FabricReply::Admitted {
+                    tenant: id,
+                    hosts: hosts.iter().map(|h| h.raw()).collect(),
+                }
+            }
+            Err(reason) => {
+                self.n_rejected += 1;
+                FabricReply::Rejected { reason }
+            }
+        }
+    }
+
+    fn apply_depart(&mut self, id: u32, t: Time) -> FabricReply {
+        match self.tenants.get(id as usize) {
+            Some(tn) if tn.is_active() => {
+                self.depart_tenant(id, t);
+                FabricReply::Departed { tenant: id }
+            }
+            Some(tn) => FabricReply::Error {
+                detail: format!("tenant {id} is {} — nothing to depart", tn.state.label()),
+            },
+            None => FabricReply::Error {
+                detail: format!("tenant {id} unknown"),
+            },
+        }
+    }
+
+    fn apply_resize(&mut self, id: u32, new_tokens: f64) -> FabricReply {
+        let i = id as usize;
+        match self.tenants.get(i) {
+            Some(tn) if tn.is_active() => {}
+            Some(tn) => {
+                return FabricReply::Error {
+                    detail: format!("tenant {id} is {} — cannot resize", tn.state.label()),
+                }
+            }
+            None => {
+                return FabricReply::Error {
+                    detail: format!("tenant {id} unknown"),
+                }
+            }
+        }
+        if new_tokens <= 0.0 {
+            return FabricReply::Error {
+                detail: format!("resize to {new_tokens} tokens — must be positive"),
+            };
+        }
+        let old = self.tenants[i].tokens_per_vm;
+        let delta = (new_tokens - old) * self.cfg.bu_bps;
+        let hosts = self.tenants[i].hosts.clone();
+        if delta > 0.0 {
+            // Grow: admissibility-checked commit per host, all-or-nothing.
+            let mut done = 0;
+            for (k, &h) in hosts.iter().enumerate() {
+                let blocked = self
+                    .ledger
+                    .first_blocking_link(h, delta)
+                    .map(|l| l.describe());
+                if let Some(link) = blocked {
+                    for &g in &hosts[..k] {
+                        self.ledger.release(g, delta);
+                    }
+                    self.n_resize_denied += 1;
+                    return FabricReply::ResizeDenied {
+                        tenant: id,
+                        detail: format!("grow to {new_tokens} tokens blocked on link {link}"),
+                    };
+                }
+                self.ledger.commit(h, delta);
+                done += 1;
+            }
+            debug_assert_eq!(done, hosts.len());
+            for &h in &hosts {
+                self.placer.adjust_hose(h, delta);
+            }
+        } else if delta < 0.0 {
+            // Shrink never fails: it only returns capacity.
+            for &h in &hosts {
+                self.ledger.release(h, -delta);
+                self.placer.adjust_hose(h, delta);
+            }
+        }
+        self.tenants[i].tokens_per_vm = new_tokens;
+        self.tenants[i].resizes += 1;
+        self.n_resized += 1;
+        FabricReply::Resized {
+            tenant: id,
+            old_tokens: old,
+            new_tokens,
+        }
+    }
+
+    /// What tier is raw node `node`?
+    fn classify(&self, node: u32) -> Option<&'static str> {
+        let n = NodeId(node);
+        if self.topo.hosts.contains(&n) {
+            Some("host")
+        } else if self.topo.tors.contains(&n) {
+            Some("tor")
+        } else if self.topo.aggs.contains(&n) {
+            Some("agg")
+        } else if self.topo.cores.contains(&n) {
+            Some("core")
+        } else {
+            None
+        }
+    }
+
+    /// Hosts whose placements live behind `node`: the node itself for a
+    /// host, its attached hosts for a ToR, none for agg/core (their
+    /// share moves via the spread rebuild, not by migration).
+    fn hosts_behind(&self, node: u32, kind: &str) -> Vec<NodeId> {
+        match kind {
+            "host" => vec![NodeId(node)],
+            "tor" => self
+                .topo
+                .neighbors(NodeId(node))
+                .iter()
+                .map(|a| a.peer)
+                .filter(|p| self.topo.hosts.contains(p))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn apply_cordon(&mut self, node: u32, on: bool) -> FabricReply {
+        let Some(kind) = self.classify(node) else {
+            return FabricReply::Error {
+                detail: format!("node {node} is not in the topology"),
+            };
+        };
+        if on == self.cordoned.contains(&node) {
+            return FabricReply::Error {
+                detail: format!(
+                    "node {node} is {} cordoned",
+                    if on { "already" } else { "not" }
+                ),
+            };
+        }
+        match kind {
+            "host" | "tor" => {
+                for h in self.hosts_behind(node, kind) {
+                    self.placer.set_cordoned(h, on);
+                }
+                if on {
+                    self.cordoned.insert(node);
+                } else {
+                    self.cordoned.remove(&node);
+                }
+            }
+            _ => {
+                // Agg/core: the cordon changes every host's spread, so
+                // rebuild the ledger and re-commit — all-or-nothing.
+                if on {
+                    self.cordoned.insert(node);
+                } else {
+                    self.cordoned.remove(&node);
+                }
+                match self.try_reseat() {
+                    Ok((baseline, live)) => {
+                        self.baseline = baseline;
+                        self.ledger = live;
+                    }
+                    Err(e) => {
+                        if on {
+                            self.cordoned.remove(&node);
+                        } else {
+                            self.cordoned.insert(node);
+                        }
+                        return FabricReply::Error {
+                            detail: format!("cordon of {kind} {node} rejected: {e}"),
+                        };
+                    }
+                }
+            }
+        }
+        if on {
+            FabricReply::Cordoned { node }
+        } else {
+            FabricReply::Uncordoned { node }
+        }
+    }
+
+    fn apply_drain(&mut self, node: u32, t: Time) -> FabricReply {
+        let Some(kind) = self.classify(node) else {
+            return FabricReply::Error {
+                detail: format!("node {node} is not in the topology"),
+            };
+        };
+        if self.cordoned.contains(&node) {
+            return FabricReply::Error {
+                detail: format!("node {node} is already cordoned"),
+            };
+        }
+        if kind == "agg" || kind == "core" {
+            // Nothing is placed *on* a fabric switch; draining it is the
+            // spread rebuild that a cordon already performs.
+            return match self.apply_cordon(node, true) {
+                FabricReply::Cordoned { node } => FabricReply::Drained {
+                    node,
+                    moved: Vec::new(),
+                },
+                FabricReply::Error { detail } => FabricReply::DrainFailed { node, detail },
+                other => other,
+            };
+        }
+        let drained_hosts = self.hosts_behind(node, kind);
+        for &h in &drained_hosts {
+            self.placer.set_cordoned(h, true);
+        }
+        self.cordoned.insert(node);
+        // Migrate every VM off the drained hosts, tenant id then VM
+        // index order, make-before-break (commit the new slot before
+        // releasing the old).
+        let mut moved: Vec<Moved> = Vec::new();
+        let mut failure: Option<String> = None;
+        'scan: for i in 0..self.tenants.len() {
+            if !self.tenants[i].is_active() {
+                continue;
+            }
+            let hose = self.tenants[i].tokens_per_vm * self.cfg.bu_bps;
+            for v in 0..self.tenants[i].hosts.len() {
+                let from = self.tenants[i].hosts[v];
+                if !drained_hosts.contains(&from) {
+                    continue;
+                }
+                let avoid = self.tenants[i].hosts.clone();
+                match self
+                    .placer
+                    .place_one_avoiding(&mut self.ledger, hose, &avoid)
+                {
+                    Ok(to) => {
+                        self.placer.release(&mut self.ledger, &[from], hose);
+                        self.tenants[i].hosts[v] = to;
+                        moved.push((i as u32, v as u32, from.raw(), to.raw()));
+                    }
+                    Err(r) => {
+                        failure = Some(format!(
+                            "{} migrating tenant {i} vm {v} off host {from}",
+                            r.label()
+                        ));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if let Some(detail) = failure {
+            // All-or-nothing: unwind every move and the cordon.
+            for &(ti, vi, from, to) in moved.iter().rev() {
+                let hose = self.tenants[ti as usize].tokens_per_vm * self.cfg.bu_bps;
+                self.placer.release(&mut self.ledger, &[NodeId(to)], hose);
+                self.placer
+                    .place_fixed(&mut self.ledger, &[NodeId(from)], hose);
+                self.tenants[ti as usize].hosts[vi as usize] = NodeId(from);
+            }
+            for &h in &drained_hosts {
+                self.placer.set_cordoned(h, false);
+            }
+            self.cordoned.remove(&node);
+            return FabricReply::DrainFailed { node, detail };
+        }
+        // A migrated tenant's new paths must requalify before its
+        // guarantee is back in force.
+        let mut touched: Vec<u32> = moved.iter().map(|m| m.0).collect();
+        touched.dedup();
+        for &ti in &touched {
+            self.tenants[ti as usize].migrations += 1;
+            if self.tenants[ti as usize].state == TenantState::Guaranteed {
+                let enter = self.tenants[ti as usize]
+                    .guaranteed_at
+                    .take()
+                    .expect("open span");
+                self.tenants[ti as usize].guaranteed_spans.push((enter, t));
+                self.set_state(ti, TenantState::Qualifying, t, 1);
+                self.tenants[ti as usize].qualifying_since = t;
+            }
+        }
+        self.n_drained_vms += moved.len() as u32;
+        FabricReply::Drained { node, moved }
+    }
+
+    /// Rebuild `(baseline, live)` ledgers for the current topology and
+    /// cordon set by re-committing every active tenant with admission
+    /// checks. Pure — the caller swaps the ledgers in only on `Ok`.
+    pub(crate) fn try_reseat(&self) -> Result<(Ledger, Ledger), String> {
+        let baseline = Ledger::new_excluding(&self.topo, self.cfg.headroom, &self.cordoned);
+        let mut live = baseline.clone();
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !t.is_active() {
+                continue;
+            }
+            let hose = t.tokens_per_vm * self.cfg.bu_bps;
+            for &h in &t.hosts {
+                if let Some(l) = live.first_blocking_link(h, hose) {
+                    return Err(format!(
+                        "tenant {i} ({}) hose {:.0} bps no longer fits on link {}",
+                        t.name,
+                        hose,
+                        l.describe()
+                    ));
+                }
+                live.commit(h, hose);
+            }
+        }
+        Ok((baseline, live))
+    }
+}
+
+impl Snapshottable for FabricService {
+    fn snapshot(&self) -> String {
+        crate::snapshot::render(self)
+    }
+
+    fn verify_restore(&self, snap: &str) -> Result<(), String> {
+        let restored = FabricService::restore(self.topo.clone(), snap)
+            .map_err(|e| format!("restore failed: {e}"))?;
+        let again = crate::snapshot::render(&restored);
+        if again != snap {
+            let at = again
+                .lines()
+                .zip(snap.lines())
+                .position(|(a, b)| a != b)
+                .map(|l| format!("line {}", l + 1))
+                .unwrap_or_else(|| "length".to_string());
+            return Err(format!("restored snapshot diverges at {at}"));
+        }
+        restored
+            .audit()
+            .map_err(|e| format!("restored service fails audit: {e}"))
+    }
+}
+
+/// Re-derive per-host placer cordon flags from the cordon set: hosts
+/// cordoned directly, plus every host behind a cordoned ToR.
+pub(crate) fn apply_host_cordons(topo: &Topo, cordoned: &BTreeSet<u32>, placer: &mut Placer) {
+    for &raw in cordoned {
+        let n = NodeId(raw);
+        if topo.hosts.contains(&n) {
+            placer.set_cordoned(n, true);
+        } else if topo.tors.contains(&n) {
+            for a in topo.neighbors(n) {
+                if topo.hosts.contains(&a.peer) {
+                    placer.set_cordoned(a.peer, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FabricOp, FabricQuery, FabricReply};
+    use fabric::RejectReason;
+    use netsim::builder::LinkSpec;
+    use netsim::{MS, US};
+    use topology::{leaf_spine, three_tier, ThreeTierCfg};
+
+    fn topo() -> Arc<Topo> {
+        // 2 leaves × 4 hosts, 10G everywhere; η = 0.9 admits 9G per access.
+        Arc::new(leaf_spine(
+            2,
+            2,
+            4,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        ))
+    }
+
+    fn admit(name: &str, n_vms: usize, tokens: f64, lifetime: Time) -> FabricOp {
+        FabricOp::Admit {
+            name: name.into(),
+            n_vms,
+            tokens_per_vm: tokens,
+            lifetime,
+        }
+    }
+
+    #[test]
+    fn admit_resize_depart_lifecycle() {
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        s.submit(0, admit("a", 2, 2.0, 5 * MS));
+        s.submit(0, admit("b", 2, 1.0, 5 * MS));
+        let out = s.advance(100 * US);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0].reply,
+            FabricReply::Admitted { tenant: 0, .. }
+        ));
+        // Pacing: second decision one gap after the first.
+        assert_eq!(out[1].applied - out[0].applied, s.cfg().decision_gap);
+        assert_eq!(s.count(TenantState::Qualifying), 2);
+        s.audit().unwrap();
+
+        s.note_qualified(0, 200 * US);
+        assert_eq!(s.count(TenantState::Guaranteed), 1);
+
+        // Grow tenant 0 in place: 2.0 → 4.0 tokens (1 G → 2 G hose).
+        s.submit(
+            300 * US,
+            FabricOp::Resize {
+                tenant: 0,
+                new_tokens_per_vm: 4.0,
+            },
+        );
+        let out = s.advance(400 * US);
+        assert!(matches!(
+            out[0].reply,
+            FabricReply::Resized { tenant: 0, .. }
+        ));
+        assert_eq!(s.tenants()[0].tokens_per_vm, 4.0);
+        assert_eq!(s.tenants()[0].state, TenantState::Guaranteed);
+        s.audit().unwrap();
+
+        // Shrink back below the original.
+        s.submit(
+            500 * US,
+            FabricOp::Resize {
+                tenant: 0,
+                new_tokens_per_vm: 1.0,
+            },
+        );
+        s.advance(600 * US);
+        assert_eq!(s.tenants()[0].tokens_per_vm, 1.0);
+        s.audit().unwrap();
+
+        // Lifetimes expire; capacity drains to zero and tenants reclaim.
+        s.advance(10 * MS);
+        assert_eq!(s.count(TenantState::Reclaimed), 2);
+        assert!(s.ledger().utilization().abs() < 1e-12);
+        s.audit().unwrap();
+        match s.query(FabricQuery::Stats) {
+            FabricReply::Stats {
+                active,
+                admitted,
+                resized,
+                ..
+            } => {
+                assert_eq!(active, 0);
+                assert_eq!(admitted, 2);
+                assert_eq!(resized, 2);
+            }
+            other => panic!("unexpected stats reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_admit_is_rejected() {
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        // 20 tokens × 500M = 10G > 9G admissible on a 10G access link.
+        s.submit(0, admit("over", 1, 20.0, MS));
+        let out = s.advance(MS);
+        assert!(matches!(
+            out[0].reply,
+            FabricReply::Rejected {
+                reason: RejectReason::NoCapacity
+            }
+        ));
+        assert_eq!(s.n_rejected(), 1);
+        assert!(s.tenants().is_empty());
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn resize_grow_denied_rolls_back() {
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        // 16 tokens = 8G hose on one VM; growing to 19 tokens (9.5G)
+        // must block on the 9G access ceiling and change nothing.
+        s.submit(0, admit("big", 1, 16.0, 10 * MS));
+        s.advance(100 * US);
+        let before = s.ledger().committed_bits();
+        s.submit(
+            200 * US,
+            FabricOp::Resize {
+                tenant: 0,
+                new_tokens_per_vm: 19.0,
+            },
+        );
+        let out = s.advance(300 * US);
+        match &out[0].reply {
+            FabricReply::ResizeDenied { tenant: 0, detail } => {
+                assert!(detail.contains("blocked on link"), "{detail}");
+            }
+            other => panic!("expected denial, got {other:?}"),
+        }
+        assert_eq!(s.tenants()[0].tokens_per_vm, 16.0);
+        assert_eq!(
+            s.ledger().committed_bits(),
+            before,
+            "rollback must be exact"
+        );
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn drain_host_migrates_and_requalifies() {
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        s.submit(0, admit("a", 2, 2.0, 20 * MS));
+        s.submit(0, admit("b", 2, 2.0, 20 * MS));
+        let out = s.advance(100 * US);
+        let first_host = match &out[0].reply {
+            FabricReply::Admitted { hosts, .. } => hosts[0],
+            other => panic!("{other:?}"),
+        };
+        s.note_qualified(0, 200 * US);
+        s.note_qualified(1, 200 * US);
+
+        // Both tenants have a VM on the first-fit host; drain it.
+        s.submit(300 * US, FabricOp::Drain { node: first_host });
+        let out = s.advance(400 * US);
+        match &out[0].reply {
+            FabricReply::Drained { node, moved } => {
+                assert_eq!(*node, first_host);
+                assert_eq!(moved.len(), 2, "one VM per tenant lived there");
+                for &(_, _, from, to) in moved {
+                    assert_eq!(from, first_host);
+                    assert_ne!(to, first_host);
+                }
+            }
+            other => panic!("expected drain, got {other:?}"),
+        }
+        // The drained host is empty, cordoned, and both tenants must
+        // requalify their migrated paths.
+        assert_eq!(s.placer.vms_on(NodeId(first_host)), 0);
+        assert!(s.cordoned().contains(&first_host));
+        assert_eq!(s.count(TenantState::Qualifying), 2);
+        assert_eq!(s.tenants()[0].migrations, 1);
+        assert_eq!(s.tenants()[0].guaranteed_spans.len(), 1);
+        s.audit().unwrap();
+
+        // New admissions avoid the cordoned host; uncordon re-opens it.
+        s.submit(500 * US, admit("c", 1, 1.0, 20 * MS));
+        let out = s.advance(600 * US);
+        match &out[0].reply {
+            FabricReply::Admitted { hosts, .. } => assert_ne!(hosts[0], first_host),
+            other => panic!("{other:?}"),
+        }
+        s.submit(700 * US, FabricOp::Uncordon { node: first_host });
+        let out = s.advance(800 * US);
+        assert!(matches!(out[0].reply, FabricReply::Uncordoned { .. }));
+        assert!(!s.cordoned().contains(&first_host));
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn impossible_drain_rolls_everything_back() {
+        let cfg = AdmissionCfg {
+            max_vms_per_host: 1,
+            ..AdmissionCfg::default()
+        };
+        let mut s = FabricService::new(topo(), cfg);
+        // One VM per host: 8 VMs fill all 8 hosts, so a drained VM has
+        // nowhere to go — every other host already carries the same
+        // tenant (avoid list) and the slot cap forbids doubling up.
+        s.submit(0, admit("wall", 8, 2.0, 20 * MS));
+        let out = s.advance(100 * US);
+        let h0 = match &out[0].reply {
+            FabricReply::Admitted { hosts, .. } => hosts[0],
+            other => panic!("{other:?}"),
+        };
+        let bits = s.ledger().committed_bits();
+        s.submit(200 * US, FabricOp::Drain { node: h0 });
+        let out = s.advance(300 * US);
+        assert!(
+            matches!(out[0].reply, FabricReply::DrainFailed { .. }),
+            "{:?}",
+            out[0].reply
+        );
+        // Untouched: same placement, same ledger bits, no cordon.
+        assert_eq!(s.tenants()[0].hosts[0].raw(), h0);
+        assert_eq!(s.ledger().committed_bits(), bits);
+        assert!(!s.cordoned().contains(&h0));
+        assert!(!s.placer.is_cordoned(NodeId(h0)));
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn cordon_core_rebuilds_spread_all_or_nothing() {
+        let t = Arc::new(three_tier(ThreeTierCfg::default()));
+        let core = t.cores[0].raw();
+        let mut s = FabricService::new(t.clone(), AdmissionCfg::default());
+        s.submit(0, admit("a", 4, 2.0, 50 * MS));
+        s.advance(100 * US);
+        s.audit().unwrap();
+
+        s.submit(200 * US, FabricOp::Cordon { node: core });
+        let out = s.advance(300 * US);
+        assert!(matches!(out[0].reply, FabricReply::Cordoned { .. }));
+        // No host's hose touches the cordoned core any more.
+        for &h in &t.hosts {
+            for &(i, _) in s.ledger().spread_of(h) {
+                let l = &s.ledger().links()[i];
+                assert!(l.node.raw() != core && l.peer.raw() != core);
+            }
+        }
+        s.audit().unwrap();
+
+        s.submit(400 * US, FabricOp::Uncordon { node: core });
+        let out = s.advance(500 * US);
+        assert!(matches!(out[0].reply, FabricReply::Uncordoned { .. }));
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn expand_adds_a_pod_without_disturbing_tenants() {
+        let cfg_small = ThreeTierCfg::default();
+        let mut cfg_big = cfg_small;
+        cfg_big.pods += 1;
+        let mut s = FabricService::new(Arc::new(three_tier(cfg_small)), AdmissionCfg::default());
+        s.submit(0, admit("a", 4, 2.0, 50 * MS));
+        let out = s.advance(100 * US);
+        let hosts_before = match &out[0].reply {
+            FabricReply::Admitted { hosts, .. } => hosts.clone(),
+            other => panic!("{other:?}"),
+        };
+        let n_hosts_before = s.topo().hosts.len();
+
+        s.expand(Arc::new(three_tier(cfg_big))).unwrap();
+        assert_eq!(
+            s.topo().hosts.len(),
+            n_hosts_before + cfg_big.tors_per_pod * cfg_big.hosts_per_tor
+        );
+        // Existing placement untouched, audit clean on the new spread.
+        let now: Vec<u32> = s.tenants()[0].hosts.iter().map(|h| h.raw()).collect();
+        assert_eq!(now, hosts_before);
+        s.audit().unwrap();
+
+        // The new pod's hosts take placements.
+        s.submit(200 * US, admit("b", 2, 2.0, 50 * MS));
+        let out = s.advance(300 * US);
+        assert!(matches!(out[0].reply, FabricReply::Admitted { .. }));
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn identical_op_streams_produce_identical_digests() {
+        let drive = || {
+            let mut s = FabricService::new(topo(), AdmissionCfg::default());
+            s.submit(0, admit("a", 2, 2.0, 5 * MS));
+            s.submit(50 * US, admit("b", 3, 1.0, 5 * MS));
+            s.submit(
+                100 * US,
+                FabricOp::Resize {
+                    tenant: 0,
+                    new_tokens_per_vm: 3.0,
+                },
+            );
+            s.submit(
+                150 * US,
+                FabricOp::Drain {
+                    node: s.topo().hosts[0].raw(),
+                },
+            );
+            let mut replies = Vec::new();
+            for step in 1..=40u64 {
+                for a in s.advance(step * 250 * US) {
+                    replies.push(a.reply.encode());
+                }
+            }
+            (s.digest(), replies)
+        };
+        let (d1, r1) = drive();
+        let (d2, r2) = drive();
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2);
+        assert!(!r1.is_empty());
+    }
+}

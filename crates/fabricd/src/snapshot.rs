@@ -1,0 +1,534 @@
+//! Versioned snapshot serialization for [`FabricService`].
+//!
+//! Format (line-oriented text, one `\n`-terminated record per line):
+//!
+//! ```text
+//! ufab-fabricd-snapshot v1
+//! cfg <bu_bits> <headroom_bits> <decision_gap> <max_vms> <policy> <reclaim_grace>
+//! clock <clock> <last_submit> <next_slot> <next_seq> <digest>
+//! counters <n_rejected> <n_resized> <n_resize_denied> <n_drained_vms>
+//! cordon <raw,...|->
+//! tenant <name> <tokens_bits> <state> <admitted> <depart> <departed|->
+//!        <qsince> <guaranteed|-> <ttg|-> <resizes> <migrations>
+//!        hosts <raw,...> spans <a:b,...|->          (one line per tenant)
+//! queue <submitted> <seq> <op wire form>            (one line per pending op)
+//! ledger <bits> <bits> ...                          (one entry per link)
+//! placer <raw:vms:bits> ...|-
+//! end
+//! ```
+//!
+//! Every `f64` travels as its IEEE-754 bit pattern in fixed-width hex,
+//! so a restored ledger/placer is **byte-exact** — replaying
+//! commitments in tenant order would accumulate different float dust
+//! than the chronological live sums and could flip a later admission
+//! decision near the headroom ceiling. The admission-queue ops reuse
+//! the canonical wire form, and the digest state rides along so the
+//! restored service continues the original reply stream. Rendering is
+//! canonical: `render(restore(s)) == s`, which is what the
+//! `SnapshotRoundTrip` invariant asserts online.
+//!
+//! What is *not* serialized: the topology (the restore caller provides
+//! an identically-built one — it is static config, not state), the
+//! departure/reclaim heaps (rebuilt from tenant records), and the obs
+//! handle (re-attach with [`FabricService::set_obs`]).
+
+use crate::ops::FabricOp;
+use crate::service::{apply_host_cordons, FabricService, SvcTenant};
+use fabric::{AdmissionCfg, Ledger, Placer, Policy, TenantState};
+use netsim::Time;
+use obs::{DetHash, ObsHandle};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use topology::Topo;
+
+/// First line of every snapshot; bump the suffix on format changes.
+pub const HEADER: &str = "ufab-fabricd-snapshot v1";
+
+/// Serialize the complete service state.
+pub(crate) fn render(s: &FabricService) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let c = &s.cfg;
+    let _ = writeln!(
+        out,
+        "cfg {:016x} {:016x} {} {} {} {}",
+        c.bu_bps.to_bits(),
+        c.headroom.to_bits(),
+        c.decision_gap,
+        c.max_vms_per_host,
+        c.policy.label(),
+        c.reclaim_grace
+    );
+    let _ = writeln!(
+        out,
+        "clock {} {} {} {} {:016x}",
+        s.clock,
+        s.last_submit,
+        s.next_slot,
+        s.next_seq,
+        s.digest.digest()
+    );
+    let _ = writeln!(
+        out,
+        "counters {} {} {} {}",
+        s.n_rejected, s.n_resized, s.n_resize_denied, s.n_drained_vms
+    );
+    let _ = writeln!(
+        out,
+        "cordon {}",
+        dash_join(s.cordoned.iter().map(|x| x.to_string()))
+    );
+    for t in &s.tenants {
+        let _ = writeln!(
+            out,
+            "tenant {} {:016x} {} {} {} {} {} {} {} {} {} hosts {} spans {}",
+            t.name,
+            t.tokens_per_vm.to_bits(),
+            t.state.label(),
+            t.admitted_at,
+            t.depart_at,
+            opt(t.departed_at),
+            t.qualifying_since,
+            opt(t.guaranteed_at),
+            opt(t.ttg_ns),
+            t.resizes,
+            t.migrations,
+            dash_join(t.hosts.iter().map(|h| h.raw().to_string())),
+            dash_join(t.guaranteed_spans.iter().map(|(a, b)| format!("{a}:{b}")))
+        );
+    }
+    for (t, seq, op) in &s.queue {
+        let _ = writeln!(out, "queue {t} {seq} {}", op.encode());
+    }
+    let _ = writeln!(
+        out,
+        "ledger {}",
+        s.ledger
+            .committed_bits()
+            .iter()
+            .map(|b| format!("{b:016x}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let rows: Vec<String> = s
+        .placer
+        .dump_state()
+        .iter()
+        .map(|(raw, vms, bits)| format!("{raw}:{vms}:{bits:016x}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "placer {}",
+        if rows.is_empty() {
+            "-".to_string()
+        } else {
+            rows.join(" ")
+        }
+    );
+    out.push_str("end\n");
+    out
+}
+
+impl FabricService {
+    /// Serialize the complete service state (versioned; see the module
+    /// docs for the format). Also emitted as an `Ops` trace event.
+    pub fn snapshot(&self) -> String {
+        let snap = render(self);
+        let bytes = snap.len() as u64;
+        self.obs
+            .rec(obs::Category::Ops, self.clock, || obs::Event::Op {
+                kind: "snapshot",
+                subject: 0,
+                aux: bytes,
+            });
+        snap
+    }
+
+    /// Rebuild a service from a snapshot over an identically-built
+    /// `topo`. The restored instance passes the conservation audit
+    /// before it is returned, and re-snapshots byte-identically.
+    pub fn restore(topo: Arc<Topo>, snap: &str) -> Result<Self, String> {
+        let mut lines = snap.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(format!("snapshot header mismatch (want {HEADER:?})"));
+        }
+
+        let cfg_line = expect(&mut lines, "cfg")?;
+        let mut f = cfg_line.split_whitespace();
+        let cfg = AdmissionCfg {
+            bu_bps: f64::from_bits(hex(&mut f, "cfg bu_bps")?),
+            headroom: f64::from_bits(hex(&mut f, "cfg headroom")?),
+            decision_gap: int(&mut f, "cfg decision_gap")?,
+            max_vms_per_host: int(&mut f, "cfg max_vms_per_host")?,
+            policy: match f.next().ok_or("cfg: missing policy")? {
+                "first_fit" => Policy::FirstFit,
+                "load_spread" => Policy::LoadSpread,
+                p => return Err(format!("unknown placement policy {p:?}")),
+            },
+            reclaim_grace: int(&mut f, "cfg reclaim_grace")?,
+        };
+
+        let clock_line = expect(&mut lines, "clock")?;
+        let mut f = clock_line.split_whitespace();
+        let clock: Time = int(&mut f, "clock")?;
+        let last_submit: Time = int(&mut f, "clock last_submit")?;
+        let next_slot: Time = int(&mut f, "clock next_slot")?;
+        let next_seq: u64 = int(&mut f, "clock next_seq")?;
+        let digest = DetHash::resume(hex(&mut f, "clock digest")?);
+
+        let counters_line = expect(&mut lines, "counters")?;
+        let mut f = counters_line.split_whitespace();
+        let n_rejected = int(&mut f, "counters n_rejected")?;
+        let n_resized = int(&mut f, "counters n_resized")?;
+        let n_resize_denied = int(&mut f, "counters n_resize_denied")?;
+        let n_drained_vms = int(&mut f, "counters n_drained_vms")?;
+
+        let cordon_line = expect(&mut lines, "cordon")?;
+        let cordoned: BTreeSet<u32> = dash_split(cordon_line.trim(), ',')?.into_iter().collect();
+
+        // Variable-count sections: tenants, then queued ops, then the
+        // fixed tail (ledger, placer, end).
+        let mut tenants: Vec<SvcTenant> = Vec::new();
+        let mut queue: VecDeque<(Time, u64, FabricOp)> = VecDeque::new();
+        let mut ledger_bits: Option<Vec<u64>> = None;
+        let mut placer_rows: Option<Vec<(u32, usize, u64)>> = None;
+        let mut saw_end = false;
+        for line in lines {
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "tenant" => tenants.push(parse_tenant(rest)?),
+                "queue" => {
+                    let mut f = rest.splitn(3, ' ');
+                    let t: Time = num(f.next().ok_or("queue: missing time")?, "queue time")?;
+                    let seq: u64 = num(f.next().ok_or("queue: missing seq")?, "queue seq")?;
+                    let op = FabricOp::decode(f.next().ok_or("queue: missing op")?)?;
+                    queue.push_back((t, seq, op));
+                }
+                "ledger" => {
+                    ledger_bits = Some(
+                        rest.split_whitespace()
+                            .map(|b| {
+                                u64::from_str_radix(b, 16)
+                                    .map_err(|_| format!("bad ledger bits {b:?}"))
+                            })
+                            .collect::<Result<_, String>>()?,
+                    );
+                }
+                "placer" => {
+                    let mut rows = Vec::new();
+                    if rest.trim() != "-" {
+                        for tok in rest.split_whitespace() {
+                            let p: Vec<&str> = tok.split(':').collect();
+                            if p.len() != 3 {
+                                return Err(format!("bad placer row {tok:?}"));
+                            }
+                            rows.push((
+                                num(p[0], "placer host")?,
+                                num(p[1], "placer vms")?,
+                                u64::from_str_radix(p[2], 16)
+                                    .map_err(|_| format!("bad placer bits {:?}", p[2]))?,
+                            ));
+                        }
+                    }
+                    placer_rows = Some(rows);
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(format!("unexpected snapshot record {other:?}")),
+            }
+        }
+        if !saw_end {
+            return Err("snapshot truncated: missing end record".into());
+        }
+        let ledger_bits = ledger_bits.ok_or("snapshot missing ledger record")?;
+        let placer_rows = placer_rows.ok_or("snapshot missing placer record")?;
+
+        let baseline = Ledger::new_excluding(&topo, cfg.headroom, &cordoned);
+        if ledger_bits.len() != baseline.n_links() {
+            return Err(format!(
+                "snapshot ledger has {} links, topology has {} — wrong topology?",
+                ledger_bits.len(),
+                baseline.n_links()
+            ));
+        }
+        let mut ledger = baseline.clone();
+        ledger.set_committed_bits(&ledger_bits);
+        let mut placer = Placer::new(&topo.hosts, cfg.policy, cfg.max_vms_per_host);
+        placer.restore_state(&placer_rows);
+        apply_host_cordons(&topo, &cordoned, &mut placer);
+
+        let mut departs: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+        let mut reclaims: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+        for (i, t) in tenants.iter().enumerate() {
+            if t.is_active() {
+                departs.push(Reverse((t.depart_at, i as u32)));
+            } else if t.state == TenantState::Departing {
+                let dep = t
+                    .departed_at
+                    .ok_or_else(|| format!("departing tenant {i} has no departed_at"))?;
+                reclaims.push(Reverse((dep + cfg.reclaim_grace, i as u32)));
+            }
+        }
+
+        let svc = Self {
+            cfg,
+            topo,
+            ledger,
+            baseline,
+            placer,
+            tenants,
+            cordoned,
+            queue,
+            next_seq,
+            last_submit,
+            next_slot,
+            clock,
+            n_rejected,
+            n_resized,
+            n_resize_denied,
+            n_drained_vms,
+            digest,
+            departs,
+            reclaims,
+            obs: ObsHandle::disabled(),
+        };
+        svc.audit()
+            .map_err(|e| format!("restored state fails conservation audit: {e}"))?;
+        Ok(svc)
+    }
+}
+
+fn parse_tenant(rest: &str) -> Result<SvcTenant, String> {
+    let mut f = rest.split_whitespace();
+    let name = f.next().ok_or("tenant: missing name")?.to_string();
+    let tokens_per_vm = f64::from_bits(hex(&mut f, "tenant tokens")?);
+    let state = match f.next().ok_or("tenant: missing state")? {
+        "requested" => TenantState::Requested,
+        "admitted" => TenantState::Admitted,
+        "qualifying" => TenantState::Qualifying,
+        "guaranteed" => TenantState::Guaranteed,
+        "departing" => TenantState::Departing,
+        "reclaimed" => TenantState::Reclaimed,
+        "rejected" => TenantState::Rejected,
+        s => return Err(format!("unknown tenant state {s:?}")),
+    };
+    let admitted_at = int(&mut f, "tenant admitted_at")?;
+    let depart_at = int(&mut f, "tenant depart_at")?;
+    let departed_at = opt_int(&mut f, "tenant departed_at")?;
+    let qualifying_since = int(&mut f, "tenant qualifying_since")?;
+    let guaranteed_at = opt_int(&mut f, "tenant guaranteed_at")?;
+    let ttg_ns = opt_int(&mut f, "tenant ttg")?;
+    let resizes = int(&mut f, "tenant resizes")?;
+    let migrations = int(&mut f, "tenant migrations")?;
+    if f.next() != Some("hosts") {
+        return Err("tenant: missing hosts marker".into());
+    }
+    let hosts = dash_split(f.next().ok_or("tenant: missing hosts")?, ',')?
+        .into_iter()
+        .map(netsim::NodeId)
+        .collect();
+    if f.next() != Some("spans") {
+        return Err("tenant: missing spans marker".into());
+    }
+    let spans_tok = f.next().ok_or("tenant: missing spans")?;
+    let mut guaranteed_spans = Vec::new();
+    if spans_tok != "-" {
+        for s in spans_tok.split(',') {
+            let (a, b) = s.split_once(':').ok_or_else(|| format!("bad span {s:?}"))?;
+            guaranteed_spans.push((num(a, "span start")?, num(b, "span end")?));
+        }
+    }
+    Ok(SvcTenant {
+        name,
+        tokens_per_vm,
+        state,
+        hosts,
+        admitted_at,
+        depart_at,
+        departed_at,
+        qualifying_since,
+        guaranteed_at,
+        ttg_ns,
+        guaranteed_spans,
+        resizes,
+        migrations,
+    })
+}
+
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn dash_join(items: impl Iterator<Item = String>) -> String {
+    let v: Vec<String> = items.collect();
+    if v.is_empty() {
+        "-".into()
+    } else {
+        v.join(",")
+    }
+}
+
+fn dash_split<T: std::str::FromStr>(s: &str, sep: char) -> Result<Vec<T>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(sep).map(|x| num(x, "list entry")).collect()
+}
+
+fn expect<'a>(lines: &mut std::str::Lines<'a>, tag: &str) -> Result<&'a str, String> {
+    let line = lines
+        .next()
+        .ok_or_else(|| format!("snapshot truncated before {tag} record"))?;
+    line.strip_prefix(tag)
+        .map(str::trim_start)
+        .ok_or_else(|| format!("expected {tag} record, got {line:?}"))
+}
+
+fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+fn int<T: std::str::FromStr>(f: &mut std::str::SplitWhitespace, what: &str) -> Result<T, String> {
+    num(f.next().ok_or_else(|| format!("missing {what}"))?, what)
+}
+
+fn opt_int<T: std::str::FromStr>(
+    f: &mut std::str::SplitWhitespace,
+    what: &str,
+) -> Result<Option<T>, String> {
+    let tok = f.next().ok_or_else(|| format!("missing {what}"))?;
+    if tok == "-" {
+        Ok(None)
+    } else {
+        num(tok, what).map(Some)
+    }
+}
+
+fn hex(f: &mut std::str::SplitWhitespace, what: &str) -> Result<u64, String> {
+    let tok = f.next().ok_or_else(|| format!("missing {what}"))?;
+    u64::from_str_radix(tok, 16).map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::FabricQuery;
+    use netsim::builder::LinkSpec;
+    use netsim::{MS, US};
+    use obs::Snapshottable;
+    use topology::leaf_spine;
+
+    fn topo() -> Arc<Topo> {
+        Arc::new(leaf_spine(
+            2,
+            2,
+            4,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        ))
+    }
+
+    fn admit(name: &str, n_vms: usize, tokens: f64, lifetime: Time) -> FabricOp {
+        FabricOp::Admit {
+            name: name.into(),
+            n_vms,
+            tokens_per_vm: tokens,
+            lifetime,
+        }
+    }
+
+    /// A service mid-flight: mixed tenant states, one resize applied,
+    /// one departure fired, and one op still pending in the queue.
+    fn busy_service() -> FabricService {
+        let t = topo();
+        let mut s = FabricService::new(t, AdmissionCfg::default());
+        s.submit(0, admit("a", 3, 2.0, 5 * MS));
+        s.submit(10 * US, admit("b", 2, 4.0, 800 * US));
+        s.submit(20 * US, admit("c", 2, 1.5, 5 * MS));
+        s.advance(100 * US);
+        s.note_qualified(0, 150 * US);
+        s.submit(
+            200 * US,
+            FabricOp::Resize {
+                tenant: 2,
+                new_tokens_per_vm: 3.0,
+            },
+        );
+        s.advance(900 * US); // resize applies; "b" departs at 810 µs
+                             // Leave one op pending beyond the current clock.
+        s.submit(2 * MS, admit("late", 1, 1.0, MS));
+        s
+    }
+
+    #[test]
+    fn restore_re_renders_byte_identically() {
+        let s = busy_service();
+        let snap = s.snapshot();
+        let r = FabricService::restore(s.topo.clone(), &snap).unwrap();
+        assert_eq!(render(&r), snap);
+        // The trait-level check (what the invariant runs online).
+        s.verify_restore(&snap).unwrap();
+    }
+
+    #[test]
+    fn restored_service_continues_the_digest_stream() {
+        let mut live = busy_service();
+        let snap = live.snapshot();
+        let mut back = FabricService::restore(live.topo.clone(), &snap).unwrap();
+        assert_eq!(live.digest(), back.digest());
+
+        // Apply an identical tail of ops to both; the pending "late"
+        // admit and the new ops must produce identical replies and an
+        // identical final digest.
+        for s in [&mut live, &mut back] {
+            s.submit(3 * MS, admit("d", 2, 2.0, 4 * MS));
+            s.submit(3 * MS + 10 * US, FabricOp::Depart { tenant: 0 });
+        }
+        let (a, b) = (live.advance(4 * MS), back.advance(4 * MS));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.reply.encode(), y.reply.encode());
+            assert_eq!(x.applied, y.applied);
+        }
+        assert_eq!(live.digest(), back.digest());
+        assert_eq!(
+            live.query(FabricQuery::Stats).encode(),
+            back.query(FabricQuery::Stats).encode()
+        );
+        back.audit().unwrap();
+    }
+
+    #[test]
+    fn bad_snapshots_are_rejected_with_reasons() {
+        let s = busy_service();
+        let snap = s.snapshot();
+
+        let e = FabricService::restore(s.topo.clone(), "bogus v9\n")
+            .err()
+            .unwrap();
+        assert!(e.contains("header"), "{e}");
+
+        let truncated: String = snap.lines().take(4).map(|l| format!("{l}\n")).collect();
+        let e = FabricService::restore(s.topo.clone(), &truncated)
+            .err()
+            .unwrap();
+        assert!(e.contains("truncated") || e.contains("missing"), "{e}");
+
+        // A topology of a different shape has a different link count.
+        let small = Arc::new(leaf_spine(
+            1,
+            1,
+            2,
+            LinkSpec::gbps(10, 1000),
+            LinkSpec::gbps(10, 1000),
+            1500,
+        ));
+        let e = FabricService::restore(small, &snap).err().unwrap();
+        assert!(e.contains("wrong topology"), "{e}");
+    }
+}

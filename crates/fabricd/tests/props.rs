@@ -1,0 +1,156 @@
+//! Property-based tests for the control-plane wire format and the
+//! snapshot/restore path.
+
+use fabric::AdmissionCfg;
+use fabricd::{FabricOp, FabricReply, FabricService};
+use netsim::builder::LinkSpec;
+use netsim::{MS, US};
+use proptest::prelude::*;
+use std::sync::Arc;
+use topology::{leaf_spine, Topo};
+
+fn topo() -> Arc<Topo> {
+    Arc::new(leaf_spine(
+        3,
+        2,
+        4,
+        LinkSpec::gbps(10, 1000),
+        LinkSpec::gbps(40, 1000),
+        1500,
+    ))
+}
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.";
+const DETAIL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 :()#/-";
+
+fn text(idx: &[usize], alphabet: &[u8]) -> String {
+    idx.iter()
+        .map(|&i| alphabet[i % alphabet.len()] as char)
+        .collect()
+}
+
+/// Build one of the six op variants from a flat tuple of field values;
+/// `kind` selects the variant, the other fields are reinterpreted as
+/// needed so every variant sees arbitrary values.
+fn make_op(
+    kind: usize,
+    name: String,
+    n_vms: usize,
+    tokens: f64,
+    lifetime: u64,
+    id: u32,
+) -> FabricOp {
+    match kind % 6 {
+        0 => FabricOp::Admit {
+            name,
+            n_vms,
+            tokens_per_vm: tokens,
+            lifetime,
+        },
+        1 => FabricOp::Depart { tenant: id },
+        2 => FabricOp::Resize {
+            tenant: id,
+            new_tokens_per_vm: tokens,
+        },
+        3 => FabricOp::Cordon { node: id },
+        4 => FabricOp::Uncordon { node: id },
+        _ => FabricOp::Drain { node: id },
+    }
+}
+
+proptest! {
+    /// Every op decodes back from its canonical wire form, exactly —
+    /// including the f64 token fields (Rust's `Display` is shortest
+    /// round-trip).
+    #[test]
+    fn op_wire_round_trips(
+        kind in 0usize..6,
+        name_idx in prop::collection::vec(0usize..1000, 1..12),
+        n_vms in 1usize..16,
+        tokens in 0.1f64..64.0,
+        lifetime in 1u64..100_000_000,
+        id in 0u32..10_000,
+    ) {
+        let op = make_op(kind, text(&name_idx, NAME_CHARS), n_vms, tokens, lifetime, id);
+        let line = op.encode();
+        let back = FabricOp::decode(&line).unwrap();
+        prop_assert_eq!(&back, &op);
+        prop_assert_eq!(back.encode(), line);
+    }
+
+    /// Replies with free-text detail fields and host/move lists
+    /// round-trip through the wire form.
+    #[test]
+    fn reply_wire_round_trips(
+        tenant in 0u32..1000,
+        hosts in prop::collection::vec(0u32..512, 0..8),
+        detail_idx in prop::collection::vec(0usize..1000, 0..40),
+        moved in prop::collection::vec((0u32..64, 0u32..8, 0u32..512, 0u32..512), 0..6),
+    ) {
+        let detail = text(&detail_idx, DETAIL_CHARS).trim().to_string();
+        let replies = vec![
+            FabricReply::Admitted { tenant, hosts: hosts.clone() },
+            FabricReply::ResizeDenied { tenant, detail: detail.clone() },
+            FabricReply::Drained { node: tenant, moved },
+            FabricReply::Error { detail },
+        ];
+        for r in replies {
+            let line = r.encode();
+            let back = FabricReply::decode(&line).unwrap();
+            prop_assert_eq!(&back, &r);
+            prop_assert_eq!(back.encode(), line);
+        }
+    }
+
+    /// Snapshot → restore round-trips byte-exactly and passes the
+    /// conservation audit for any randomized tenant mix, including
+    /// mixes with departures, resizes, and rejections in the history.
+    #[test]
+    fn snapshot_restore_survives_random_tenant_mixes(
+        admits in prop::collection::vec(
+            (1usize..6, (5u64..80, 1u64..40, 1u64..5000)),
+            1..12,
+        ),
+        resizes in prop::collection::vec((0u32..12, 5u64..80), 0..4),
+        cut in 1u64..60,
+    ) {
+        let t = topo();
+        let mut s = FabricService::new(t.clone(), AdmissionCfg::default());
+        let mut now = 0;
+        for (n_vms, (tokens_tenths, gap_us, life_us)) in admits {
+            s.submit(now, FabricOp::Admit {
+                name: format!("t{now}"),
+                n_vms,
+                tokens_per_vm: tokens_tenths as f64 / 10.0,
+                lifetime: life_us * US,
+            });
+            now += gap_us * US;
+        }
+        for (tenant, tokens_tenths) in resizes {
+            s.submit(now, FabricOp::Resize {
+                tenant,
+                new_tokens_per_vm: tokens_tenths as f64 / 10.0,
+            });
+            now += 5 * US;
+        }
+        // Advance partway: some ops applied, some may still be queued,
+        // some tenants departed or mid-reclaim.
+        s.advance(cut * US);
+        s.audit().unwrap();
+
+        let snap = s.snapshot();
+        let mut back = FabricService::restore(t, &snap).unwrap();
+        prop_assert_eq!(back.snapshot(), snap);
+        prop_assert_eq!(back.digest(), s.digest());
+
+        // Both replay the remaining queue identically.
+        let (a, b) = (s.advance(now + 10 * MS), back.advance(now + 10 * MS));
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.reply.encode(), y.reply.encode());
+        }
+        prop_assert_eq!(back.digest(), s.digest());
+        back.audit().unwrap();
+        s.audit().unwrap();
+    }
+}

@@ -26,11 +26,13 @@ pub enum Category {
     Custom = 8,
     /// Fabric-manager tenant lifecycle transitions.
     Tenant = 9,
+    /// Control-plane operator commands (resize, drain, snapshot, ...).
+    Ops = 10,
 }
 
 impl Category {
     /// All categories, for iteration.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 11] = [
         Category::Enqueue,
         Category::Dequeue,
         Category::Drop,
@@ -41,6 +43,7 @@ impl Category {
         Category::Invariant,
         Category::Custom,
         Category::Tenant,
+        Category::Ops,
     ];
 
     /// The category's bit in a [`CategoryMask`].
@@ -61,6 +64,7 @@ impl Category {
             Category::Invariant => "invariant",
             Category::Custom => "custom",
             Category::Tenant => "tenant",
+            Category::Ops => "ops",
         }
     }
 
@@ -227,6 +231,15 @@ pub enum Event {
         /// State-specific payload (e.g. latency ns, reject reason code).
         aux: u64,
     },
+    /// Control-plane operator command applied by the fabric service.
+    Op {
+        /// Operation label (`"resize"`, `"drain"`, `"snapshot"`, ...).
+        kind: &'static str,
+        /// Subject id (tenant id or node id, kind-dependent).
+        subject: u32,
+        /// Op-specific payload (latency ns, moved-VM count, byte size).
+        aux: u64,
+    },
 }
 
 impl Event {
@@ -243,6 +256,7 @@ impl Event {
             Event::Invariant { .. } => Category::Invariant,
             Event::Custom { .. } => Category::Custom,
             Event::Tenant { .. } => Category::Tenant,
+            Event::Op { .. } => Category::Ops,
         }
     }
 
@@ -335,6 +349,12 @@ impl Event {
                     "\"tenant\":{tenant},\"state\":\"{state}\",\"aux\":{aux}"
                 )
             }
+            Event::Op { kind, subject, aux } => {
+                write!(
+                    out,
+                    "\"kind\":\"{kind}\",\"subject\":{subject},\"aux\":{aux}"
+                )
+            }
         };
     }
 }
@@ -389,5 +409,18 @@ mod tests {
         let mut s = String::new();
         ev.write_json_fields(&mut s);
         assert_eq!(s, "\"tenant\":7,\"state\":\"guaranteed\",\"aux\":123");
+    }
+
+    #[test]
+    fn op_events_serialize() {
+        let ev = Event::Op {
+            kind: "resize",
+            subject: 4,
+            aux: 9,
+        };
+        assert_eq!(ev.category(), Category::Ops);
+        let mut s = String::new();
+        ev.write_json_fields(&mut s);
+        assert_eq!(s, "\"kind\":\"resize\",\"subject\":4,\"aux\":9");
     }
 }

@@ -18,6 +18,13 @@ impl DetHash {
         DetHash(FNV_OFFSET)
     }
 
+    /// Resume hashing from a previously captured [`DetHash::digest`]
+    /// value — the snapshot/restore path for services whose digest
+    /// must continue the original stream across a restart.
+    pub fn resume(digest: u64) -> Self {
+        DetHash(digest)
+    }
+
     /// Fold one 64-bit word, byte by byte (FNV-1a).
     #[inline]
     pub fn fold_u64(&mut self, v: u64) {

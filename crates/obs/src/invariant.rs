@@ -19,6 +19,37 @@ pub trait Invariant<Ctx> {
     fn check(&mut self, ctx: &Ctx, t_ns: u64) -> Result<(), String>;
 }
 
+/// A context that can serialize its full state and validate a restore.
+/// Implemented by stateful services (the fabric control plane) so the
+/// generic [`SnapshotRoundTrip`] invariant can exercise their
+/// snapshot path online without this crate depending on them.
+pub trait Snapshottable {
+    /// Serialize the complete state to a self-describing string.
+    fn snapshot(&self) -> String;
+
+    /// Verify that restoring `snap` reproduces this exact state
+    /// (typically: restore into a fresh instance, re-snapshot, compare
+    /// byte-for-byte, and run any domain audit). `Err` describes the
+    /// first divergence.
+    fn verify_restore(&self, snap: &str) -> Result<(), String>;
+}
+
+/// Online snapshot→restore round-trip check: every evaluation takes a
+/// snapshot of the context and asserts that restoring it reproduces
+/// the context byte-exactly.
+pub struct SnapshotRoundTrip;
+
+impl<Ctx: Snapshottable> Invariant<Ctx> for SnapshotRoundTrip {
+    fn name(&self) -> &'static str {
+        "snapshot_round_trip"
+    }
+
+    fn check(&mut self, ctx: &Ctx, _t_ns: u64) -> Result<(), String> {
+        let snap = ctx.snapshot();
+        ctx.verify_restore(&snap)
+    }
+}
+
 /// A context-rich invariant failure report.
 #[derive(Debug, Clone)]
 pub struct Violation {

@@ -30,5 +30,5 @@ mod recorder;
 
 pub use event::{Category, CategoryMask, Event};
 pub use hash::DetHash;
-pub use invariant::{Invariant, InvariantSuite, Violation};
+pub use invariant::{Invariant, InvariantSuite, SnapshotRoundTrip, Snapshottable, Violation};
 pub use recorder::{arm_panic_dump, FlightRecorder, ObsHandle, ObsSink, Recorded};

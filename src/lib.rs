@@ -12,6 +12,7 @@
 pub use baselines;
 pub use experiments;
 pub use fabric;
+pub use fabricd;
 pub use metrics;
 pub use netsim;
 pub use telemetry;
