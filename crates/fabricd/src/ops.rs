@@ -18,7 +18,10 @@ use fabric::RejectReason;
 pub enum FabricOp {
     /// Request admission of a new tenant.
     Admit {
-        /// Tenant name (no whitespace).
+        /// Tenant name. Must be a non-empty single token (no
+        /// whitespace) — the service rejects anything else with
+        /// [`FabricReply::Error`], since names embed verbatim in the
+        /// wire form and the snapshot tenant records.
         name: String,
         /// VM count.
         n_vms: usize,
@@ -80,13 +83,7 @@ impl FabricOp {
                 n_vms,
                 tokens_per_vm,
                 lifetime,
-            } => {
-                debug_assert!(
-                    !name.is_empty() && !name.contains(char::is_whitespace),
-                    "tenant names must be non-empty single tokens: {name:?}"
-                );
-                format!("admit {name} {n_vms} {tokens_per_vm} {lifetime}")
-            }
+            } => format!("admit {name} {n_vms} {tokens_per_vm} {lifetime}"),
             FabricOp::Depart { tenant } => format!("depart {tenant}"),
             FabricOp::Resize {
                 tenant,

@@ -9,9 +9,11 @@
 //!   [`AdmissionCfg::decision_gap`] exactly like the batch planner —
 //!   so the reply stream is a pure function of the op stream, never of
 //!   wall-clock or caller interleaving.
-//! * Scheduled departures interleave with ops in timestamp order: a
-//!   departure at or before an op's decision instant frees its capacity
-//!   first, matching [`fabric::plan`].
+//! * Scheduled departures and grace-expiry reclaims interleave with
+//!   ops in timestamp order; at one instant departures fire first
+//!   (freeing capacity, matching [`fabric::plan`]), then ops, then
+//!   reclaims — so every tenant-state transition lands at its due time
+//!   regardless of how the caller slices `advance()`.
 //! * Every applied op folds its encoded bytes, its reply's bytes, and
 //!   its decision time into an FNV digest ([`FabricService::digest`]).
 //!   The digest state rides inside snapshots, so a restored service
@@ -249,9 +251,9 @@ impl FabricService {
         }
     }
 
-    /// Advance the service clock to `now`: apply every due op and
-    /// scheduled departure merged in timestamp order, then due
-    /// reclaims. Returns the ops applied, in decision order.
+    /// Advance the service clock to `now`: apply every due op,
+    /// scheduled departure, and grace-expiry reclaim merged in
+    /// timestamp order. Returns the ops applied, in decision order.
     pub fn advance(&mut self, now: Time) -> Vec<Applied> {
         assert!(now >= self.clock, "service clock went backwards");
         self.clock = now;
@@ -263,23 +265,26 @@ impl FabricService {
                 .map(|&(t, _, _)| t.max(self.next_slot))
                 .filter(|&t| t <= now);
             let dep_t = self.peek_departure().filter(|&t| t <= now);
-            match (op_t, dep_t) {
-                (Some(a), Some(d)) if d <= a => self.fire_departure(),
-                (Some(a), _) => {
-                    let applied = self.fire_op(a);
-                    out.push(applied);
-                }
-                (None, Some(_)) => self.fire_departure(),
-                (None, None) => break,
-            }
-        }
-        while let Some(&Reverse((t, id))) = self.reclaims.peek() {
-            if t > now {
+            let rec_t = self
+                .reclaims
+                .peek()
+                .map(|&Reverse((t, _))| t)
+                .filter(|&t| t <= now);
+            if op_t.is_none() && dep_t.is_none() && rec_t.is_none() {
                 break;
             }
-            self.reclaims.pop();
-            if self.tenants[id as usize].state == TenantState::Departing {
-                self.set_state(id, TenantState::Reclaimed, t, 0);
+            let a = op_t.unwrap_or(Time::MAX);
+            let d = dep_t.unwrap_or(Time::MAX);
+            let r = rec_t.unwrap_or(Time::MAX);
+            // Tie order at one instant: departure (frees capacity the
+            // op may use), then op (an op decided exactly at a
+            // reclaim's due time still sees `departing`), then reclaim.
+            if d <= a && d <= r {
+                self.fire_departure();
+            } else if a <= r {
+                out.push(self.fire_op(a));
+            } else {
+                self.fire_reclaim();
             }
         }
         out
@@ -328,9 +333,20 @@ impl FabricService {
                 self.topo.n_nodes()
             ));
         }
-        for &h in &self.topo.hosts {
-            if !new_topo.hosts.contains(&h) {
-                return Err(format!("expand target remaps host {h}"));
+        // Every existing node id must keep its tier: the cordon set
+        // stores raw ids, so a remapped switch would silently change
+        // what classify/hosts_behind and the spread rebuild act on.
+        let tiers: [(&[NodeId], &[NodeId], &str); 4] = [
+            (&self.topo.hosts, &new_topo.hosts, "host"),
+            (&self.topo.tors, &new_topo.tors, "tor"),
+            (&self.topo.aggs, &new_topo.aggs, "agg"),
+            (&self.topo.cores, &new_topo.cores, "core"),
+        ];
+        for (old, new, kind) in tiers {
+            for n in old {
+                if !new.contains(n) {
+                    return Err(format!("expand target remaps {kind} {n}"));
+                }
             }
         }
         let mut placer = Placer::new(&new_topo.hosts, self.cfg.policy, self.cfg.max_vms_per_host);
@@ -391,6 +407,13 @@ impl FabricService {
     fn fire_departure(&mut self) {
         let Reverse((t, id)) = self.departs.pop().expect("peeked departure");
         self.depart_tenant(id, t);
+    }
+
+    fn fire_reclaim(&mut self) {
+        let Reverse((t, id)) = self.reclaims.pop().expect("peeked reclaim");
+        if self.tenants[id as usize].state == TenantState::Departing {
+            self.set_state(id, TenantState::Reclaimed, t, 0);
+        }
     }
 
     fn depart_tenant(&mut self, id: u32, t: Time) {
@@ -469,6 +492,14 @@ impl FabricService {
         lifetime: u64,
         t: Time,
     ) -> FabricReply {
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            // Names embed verbatim in the wire form and the
+            // whitespace-delimited snapshot tenant records, so this
+            // must hold in release builds, not just under debug_assert.
+            return FabricReply::Error {
+                detail: format!("admit: tenant name {name:?} must be a non-empty single token"),
+            };
+        }
         if n_vms == 0 || tokens <= 0.0 || lifetime == 0 {
             return FabricReply::Error {
                 detail: format!("admit {name}: need n_vms > 0, tokens > 0, lifetime > 0"),
@@ -588,6 +619,19 @@ impl FabricService {
         }
     }
 
+    /// Re-derive every per-host placer cordon flag from the cordon
+    /// set. Cordons can overlap (a host cordoned directly *and* via
+    /// its ToR), so incremental flag toggling on uncordon or drain
+    /// rollback would desync the placer from `self.cordoned` — and
+    /// from what a restore re-derives. Every mutation of the set goes
+    /// through a full reset-then-apply instead.
+    fn sync_host_cordons(&mut self) {
+        for &h in &self.topo.hosts {
+            self.placer.set_cordoned(h, false);
+        }
+        apply_host_cordons(&self.topo, &self.cordoned, &mut self.placer);
+    }
+
     /// What tier is raw node `node`?
     fn classify(&self, node: u32) -> Option<&'static str> {
         let n = NodeId(node);
@@ -637,14 +681,12 @@ impl FabricService {
         }
         match kind {
             "host" | "tor" => {
-                for h in self.hosts_behind(node, kind) {
-                    self.placer.set_cordoned(h, on);
-                }
                 if on {
                     self.cordoned.insert(node);
                 } else {
                     self.cordoned.remove(&node);
                 }
+                self.sync_host_cordons();
             }
             _ => {
                 // Agg/core: the cordon changes every host's spread, so
@@ -703,10 +745,8 @@ impl FabricService {
             };
         }
         let drained_hosts = self.hosts_behind(node, kind);
-        for &h in &drained_hosts {
-            self.placer.set_cordoned(h, true);
-        }
         self.cordoned.insert(node);
+        self.sync_host_cordons();
         // Migrate every VM off the drained hosts, tenant id then VM
         // index order, make-before-break (commit the new slot before
         // releasing the old).
@@ -751,10 +791,8 @@ impl FabricService {
                     .place_fixed(&mut self.ledger, &[NodeId(from)], hose);
                 self.tenants[ti as usize].hosts[vi as usize] = NodeId(from);
             }
-            for &h in &drained_hosts {
-                self.placer.set_cordoned(h, false);
-            }
             self.cordoned.remove(&node);
+            self.sync_host_cordons();
             return FabricReply::DrainFailed { node, detail };
         }
         // A migrated tenant's new paths must requalify before its
@@ -1129,6 +1167,155 @@ mod tests {
         let out = s.advance(300 * US);
         assert!(matches!(out[0].reply, FabricReply::Admitted { .. }));
         s.audit().unwrap();
+    }
+
+    #[test]
+    fn admit_rejects_invalid_names() {
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        s.submit(0, admit("bad name", 1, 1.0, MS));
+        s.submit(0, admit("", 1, 1.0, MS));
+        let out = s.advance(MS);
+        assert_eq!(out.len(), 2);
+        for a in &out {
+            match &a.reply {
+                FabricReply::Error { detail } => {
+                    assert!(detail.contains("single token"), "{detail}")
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+        assert!(s.tenants().is_empty());
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn overlapping_cordons_stay_in_sync() {
+        let t = topo();
+        let tor = t.tors[0];
+        let behind: Vec<NodeId> = t
+            .neighbors(tor)
+            .iter()
+            .map(|a| a.peer)
+            .filter(|p| t.hosts.contains(p))
+            .collect();
+        let h = behind[0];
+        let mut s = FabricService::new(t.clone(), AdmissionCfg::default());
+        s.submit(0, FabricOp::Cordon { node: h.raw() });
+        s.submit(0, FabricOp::Cordon { node: tor.raw() });
+        s.submit(0, FabricOp::Uncordon { node: tor.raw() });
+        let out = s.advance(MS);
+        assert!(matches!(out[2].reply, FabricReply::Uncordoned { .. }));
+        // Host h was cordoned independently of its ToR: lifting the
+        // ToR cordon must not free it, only its siblings.
+        assert!(s.cordoned().contains(&h.raw()));
+        assert!(s.placer.is_cordoned(h));
+        for &o in &behind[1..] {
+            assert!(!s.placer.is_cordoned(o));
+        }
+        // A fabric-filling admission (7 VMs, distinct hosts) lands on
+        // every host except the still-cordoned h.
+        s.submit(2 * MS, admit("a", 7, 1.0, 20 * MS));
+        let out = s.advance(3 * MS);
+        match &out[0].reply {
+            FabricReply::Admitted { hosts, .. } => assert!(!hosts.contains(&h.raw())),
+            other => panic!("{other:?}"),
+        }
+        // A restored service re-derives the same flags from the set.
+        let snap = Snapshottable::snapshot(&s);
+        s.verify_restore(&snap).unwrap();
+        let r = FabricService::restore(t, &snap).unwrap();
+        assert!(r.placer.is_cordoned(h));
+        for &o in &behind[1..] {
+            assert!(!r.placer.is_cordoned(o));
+        }
+    }
+
+    #[test]
+    fn failed_drain_rollback_preserves_independent_cordons() {
+        let cfg = AdmissionCfg {
+            max_vms_per_host: 1,
+            ..AdmissionCfg::default()
+        };
+        let mut s = FabricService::new(topo(), cfg);
+        // Cordon the last host, fill the remaining 7, then drain one of
+        // them: the only free host is cordoned, so the drain must fail
+        // and the rollback must leave the independent cordon standing.
+        let x = s.topo().hosts[7];
+        s.submit(0, FabricOp::Cordon { node: x.raw() });
+        s.submit(0, admit("wall", 7, 2.0, 20 * MS));
+        let out = s.advance(100 * US);
+        let h0 = match &out[1].reply {
+            FabricReply::Admitted { hosts, .. } => hosts[0],
+            other => panic!("{other:?}"),
+        };
+        s.submit(200 * US, FabricOp::Drain { node: h0 });
+        let out = s.advance(300 * US);
+        assert!(
+            matches!(out[0].reply, FabricReply::DrainFailed { .. }),
+            "{:?}",
+            out[0].reply
+        );
+        assert!(s.cordoned().contains(&x.raw()));
+        assert!(
+            s.placer.is_cordoned(x),
+            "rollback cleared independent cordon"
+        );
+        assert!(!s.cordoned().contains(&h0));
+        assert!(!s.placer.is_cordoned(NodeId(h0)));
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn reclaim_timing_is_independent_of_advance_granularity() {
+        let drive = |steps: &[Time]| {
+            let mut s = FabricService::new(topo(), AdmissionCfg::default());
+            // Departs at 1 ms, reclaims at 2 ms (1 ms default grace);
+            // the late depart op must see `reclaimed` whether or not
+            // the caller stepped the clock past 2 ms beforehand.
+            s.submit(0, admit("a", 1, 1.0, MS));
+            s.submit(10 * MS, FabricOp::Depart { tenant: 0 });
+            let mut replies = Vec::new();
+            for &t in steps {
+                for a in s.advance(t) {
+                    replies.push(a.reply.encode());
+                }
+            }
+            (s.digest(), replies, s.count(TenantState::Reclaimed))
+        };
+        let coarse = drive(&[20 * MS]);
+        let fine_steps: Vec<Time> = (1..=80).map(|k| k * 250 * US).collect();
+        let fine = drive(&fine_steps);
+        assert_eq!(coarse, fine);
+        assert_eq!(coarse.2, 1);
+        assert!(
+            coarse.1[1].contains("reclaimed"),
+            "late depart saw {:?}",
+            coarse.1[1]
+        );
+    }
+
+    #[test]
+    fn expand_rejects_switch_tier_remap() {
+        use topology::Tier;
+        let spec = LinkSpec::gbps(10, 1000);
+        let mut s = FabricService::new(topo(), AdmissionCfg::default());
+        // Same node-id layout as `topo()` but the second spine tagged
+        // agg instead of core: every host id is preserved, so only the
+        // switch-tier check can catch the remap.
+        let mut b = Topo::new(1500);
+        let sp0 = b.add_switch(Tier::Core);
+        let sp1 = b.add_switch(Tier::Agg);
+        for _ in 0..2 {
+            let leaf = b.add_switch(Tier::Tor);
+            for _ in 0..4 {
+                let h = b.add_host();
+                b.connect(h, leaf, spec);
+            }
+            b.connect(leaf, sp0, spec);
+            b.connect(leaf, sp1, spec);
+        }
+        let e = s.expand(Arc::new(b)).unwrap_err();
+        assert!(e.contains("remaps core"), "{e}");
     }
 
     #[test]
