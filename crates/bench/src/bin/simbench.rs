@@ -1,7 +1,7 @@
 //! `simbench` — wall-clock simulator benchmarks with a JSON trail.
 //!
 //! ```text
-//! simbench [churn] [--smoke] [--jobs N] [--out PATH]
+//! simbench [churn|ops|micro] [--smoke] [--jobs N] [--out PATH]
 //! ```
 //!
 //! The default suite measures (1) single-run event-loop throughput
@@ -24,11 +24,18 @@
 //! the digest check in the loop). Its trajectory file is
 //! `BENCH_PR6.json`.
 //!
+//! The `micro` suite isolates the event-loop hot paths (calendar-queue
+//! churn, arena vs `Box::new` packet churn, the μFAB-E per-RTT tick,
+//! the μFAB-C egress pipeline — see [`bench::micro`]) and then anchors
+//! them against the end-to-end cells: `fig11 --quick` (serial and
+//! parallel), `churn_cell` and `ops_cell`. Its trajectory file is
+//! `BENCH_PR7.json`.
+//!
 //! `--smoke` runs a seconds-scale subset (short horizon, no end-to-end
 //! runs) for CI: it exercises every code path and writes the JSON file,
 //! but the numbers are not meant to be compared.
 
-use bench::report::{git_rev, write_json, BenchRecord};
+use bench::report::{git_dirty, git_rev, write_json, BenchRecord};
 use bench::scenario::{run_testbed_permutation, run_testbed_permutation_chaos_idle};
 use experiments::executor;
 use experiments::scenarios::common::Scale;
@@ -42,11 +49,13 @@ fn main() {
     let mut par_jobs = 4usize;
     let mut churn_mode = false;
     let mut ops_mode = false;
+    let mut micro_mode = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "churn" => churn_mode = true,
             "ops" => ops_mode = true,
+            "micro" => micro_mode = true,
             "--smoke" => smoke = true,
             "--out" => out = Some(it.next().expect("--out needs a path")),
             "--jobs" => {
@@ -57,7 +66,7 @@ fn main() {
                     .expect("jobs must be an integer");
             }
             "--help" | "-h" => {
-                println!("usage: simbench [churn|ops] [--smoke] [--jobs N] [--out PATH]");
+                println!("usage: simbench [churn|ops|micro] [--smoke] [--jobs N] [--out PATH]");
                 return;
             }
             s => {
@@ -67,7 +76,9 @@ fn main() {
         }
     }
     let out = out.unwrap_or_else(|| {
-        if ops_mode {
+        if micro_mode {
+            "BENCH_PR7.json".to_string()
+        } else if ops_mode {
             "BENCH_PR6.json".to_string()
         } else if churn_mode {
             "BENCH_PR5.json".to_string()
@@ -76,7 +87,108 @@ fn main() {
         }
     });
     let rev = git_rev();
+    let dirty = git_dirty();
     let mut records = Vec::new();
+
+    if micro_mode {
+        // (1) Hot-path microbenchmarks: each isolates one inner loop of
+        // the event loop. Best-of-N wall clock; the op counts are exact.
+        let reps = if smoke { 1 } else { 3 };
+        let scale: u64 = if smoke { 1 } else { 20 };
+        let micros: [(&str, u64, fn(u64) -> u64); 5] = [
+            (
+                "micro_equeue_churn",
+                50_000 * scale,
+                bench::micro::equeue_churn,
+            ),
+            (
+                "micro_arena_churn",
+                50_000 * scale,
+                bench::micro::arena_churn,
+            ),
+            ("micro_box_churn", 50_000 * scale, bench::micro::box_churn),
+            ("micro_edge_tick", 5_000 * scale, bench::micro::edge_tick),
+            ("micro_core_tick", 50_000 * scale, bench::micro::core_tick),
+        ];
+        for (name, iters, f) in micros {
+            let mut best_ms = f64::INFINITY;
+            let mut ops = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                ops = f(iters);
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            eprintln!(
+                "[simbench] {name}: {ops} ops in {best_ms:.1} ms ({:.0} ops/sec)",
+                ops as f64 / (best_ms / 1e3)
+            );
+            records.push(BenchRecord {
+                bench: name.to_string(),
+                events_per_sec: ops as f64 / (best_ms / 1e3),
+                wall_ms: best_ms,
+                jobs: 1,
+                git_rev: rev.clone(),
+                dirty,
+            });
+        }
+
+        // (2) Anchor against the end-to-end cells so the trajectory file
+        // ties micro movements to whole-scenario wall clock. Skipped in
+        // smoke mode (tens of seconds per run).
+        if !smoke {
+            for jobs in [1usize, par_jobs] {
+                executor::set_jobs(jobs);
+                let t0 = Instant::now();
+                let (_, ev) = fig11::run_with_stats(Scale::default());
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                eprintln!(
+                    "[simbench] fig11_quick jobs={jobs}: {ev} events in {wall_ms:.0} ms \
+                     ({:.0} events/sec)",
+                    ev as f64 / (wall_ms / 1e3)
+                );
+                records.push(BenchRecord {
+                    bench: "fig11_quick".to_string(),
+                    events_per_sec: ev as f64 / (wall_ms / 1e3),
+                    wall_ms,
+                    jobs,
+                    git_rev: rev.clone(),
+                    dirty,
+                });
+            }
+            for (name, cell) in [
+                ("churn_cell", churn::bench_cell as fn(u64) -> u64),
+                ("ops_cell", ops::bench_cell as fn(u64) -> u64),
+            ] {
+                let mut cell_ms = f64::INFINITY;
+                let mut events = 0u64;
+                for _ in 0..2 {
+                    let t0 = Instant::now();
+                    events = cell(1);
+                    cell_ms = cell_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                eprintln!(
+                    "[simbench] {name}: {events} events in {cell_ms:.0} ms \
+                     ({:.0} events/sec)",
+                    events as f64 / (cell_ms / 1e3)
+                );
+                records.push(BenchRecord {
+                    bench: name.to_string(),
+                    events_per_sec: events as f64 / (cell_ms / 1e3),
+                    wall_ms: cell_ms,
+                    jobs: 1,
+                    git_rev: rev.clone(),
+                    dirty,
+                });
+            }
+        }
+
+        if let Err(e) = write_json(&out, &records) {
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[simbench] wrote {out}");
+        return;
+    }
 
     if ops_mode {
         // (1) Resize round-trips on a populated 64-server service: the
@@ -101,6 +213,7 @@ fn main() {
             wall_ms: best_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         // (2) Snapshot renders: full-state serialization with byte-exact
@@ -124,6 +237,7 @@ fn main() {
             wall_ms: snap_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         // (3) Restores: parse + ledger/placer rebuild + conservation
@@ -145,6 +259,7 @@ fn main() {
             wall_ms: rst_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         // (4) End-to-end ops cell: 64-server mixed-script run with the
@@ -168,6 +283,7 @@ fn main() {
             wall_ms: cell_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         if let Err(e) = write_json(&out, &records) {
@@ -202,6 +318,7 @@ fn main() {
             wall_ms: best_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         // (2) End-to-end churn cell: 64-server quick run with the full
@@ -226,6 +343,7 @@ fn main() {
             wall_ms: cell_ms,
             jobs: 1,
             git_rev: rev.clone(),
+            dirty,
         });
 
         if let Err(e) = write_json(&out, &records) {
@@ -258,6 +376,7 @@ fn main() {
         wall_ms: best_ms,
         jobs: 1,
         git_rev: rev.clone(),
+        dirty,
     });
 
     // (1b) The same workload with the chaos engine armed but idle — the
@@ -287,6 +406,7 @@ fn main() {
         wall_ms: chaos_ms,
         jobs: 1,
         git_rev: rev.clone(),
+        dirty,
     });
 
     // (2) End-to-end fig11 --quick, serial vs parallel executor. Skipped
@@ -308,6 +428,7 @@ fn main() {
                 wall_ms,
                 jobs,
                 git_rev: rev.clone(),
+                dirty,
             });
         }
     }

@@ -10,6 +10,7 @@
 //! Criterion target) measures end-to-end wall clock and writes the
 //! `BENCH_*.json` perf trajectory — see [`report`].
 
+pub mod micro;
 pub mod report;
 
 /// Re-exported so the bench targets share one scenario builder.

@@ -7,8 +7,13 @@
 //!
 //! ```json
 //! [{"bench": "...", "events_per_sec": 1.2e6, "wall_ms": 830.0,
-//!   "jobs": 1, "git_rev": "abc1234"}]
+//!   "jobs": 1, "git_rev": "abc1234", "dirty": false}]
 //! ```
+//!
+//! `git_rev` is the short HEAD hash at measurement time and `dirty`
+//! records whether the work tree had uncommitted changes — a `true`
+//! there means the number cannot be attributed to any single commit,
+//! so trajectory comparisons should treat it as provisional.
 //!
 //! Serialization is hand-rolled (the workspace deliberately has no JSON
 //! dependency); field order is fixed so diffs stay readable.
@@ -28,6 +33,8 @@ pub struct BenchRecord {
     pub jobs: usize,
     /// `git rev-parse --short HEAD` at measurement time.
     pub git_rev: String,
+    /// Whether the work tree had uncommitted changes at measurement time.
+    pub dirty: bool,
 }
 
 /// Best-effort short git revision; `"unknown"` outside a work tree.
@@ -41,6 +48,19 @@ pub fn git_rev() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Whether the work tree has uncommitted changes (staged or not).
+/// `false` outside a work tree — consistent with `git_rev()`'s
+/// `"unknown"`, the pair reads as "no commit to attribute to".
+pub fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false)
 }
 
 fn escape(s: &str) -> String {
@@ -60,12 +80,13 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"bench\": \"{}\", \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \
-             \"jobs\": {}, \"git_rev\": \"{}\"}}{}\n",
+             \"jobs\": {}, \"git_rev\": \"{}\", \"dirty\": {}}}{}\n",
             escape(&r.bench),
             r.events_per_sec,
             r.wall_ms,
             r.jobs,
             escape(&r.git_rev),
+            r.dirty,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -91,6 +112,7 @@ mod tests {
             wall_ms: 12.345,
             jobs: 4,
             git_rev: "abc1234".to_string(),
+            dirty: true,
         };
         let j = to_json(&[rec.clone(), rec]);
         assert!(j.starts_with("[\n"));
@@ -100,6 +122,7 @@ mod tests {
         assert!(j.contains("\"wall_ms\": 12.3"));
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"git_rev\": \"abc1234\""));
+        assert!(j.contains("\"dirty\": true"));
         // Exactly one comma: two records.
         assert_eq!(j.matches("},").count(), 1);
     }

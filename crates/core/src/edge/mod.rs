@@ -10,7 +10,8 @@
 //! * per-pair control state: candidate underlay paths, the two-stage
 //!   admission window (§3.4), registration state at the switches, probe
 //!   self-clocking (§4.1), violation counters, and migration freeze
-//!   windows (§3.5);
+//!   windows (§3.5) — stored struct-of-arrays in [`pairs`] so the
+//!   per-tick control walk is a linear scan over dense columns;
 //! * the GP token loops (Appendix E) run every token update period for
 //!   both directions (sender assignment, receiver admission).
 //!
@@ -21,6 +22,7 @@
 //! guarantee, and — after 5 consecutive violated RTTs outside the freeze
 //! window — migrates to a qualified candidate path.
 
+mod pairs;
 pub mod rate;
 pub mod wfq;
 
@@ -31,116 +33,19 @@ use crate::tokens::{token_admission, token_assignment, PairTokens};
 use metrics::recorder::SharedRecorder;
 use netsim::agent::{EdgeAgent, EdgeCtx};
 use netsim::packet::{Packet, PacketKind};
-use netsim::{
-    Inject, NodeId, PairId, PortNo, Route, TenantId, Time, VmId, ACK_SIZE, DATA_OVERHEAD,
-};
+use netsim::{Inject, NodeId, PairId, PortNo, Route, Time, VmId, ACK_SIZE, DATA_OVERHEAD};
 use obs::{Category as ObsCategory, Event as ObsEvent, ObsHandle};
+use pairs::{PairCold, PairTable, PathInfo, PathTelem, PendingFinish, ProbeOut, Registration};
 use rand::Rng;
 use std::any::Any;
 use std::collections::HashMap;
 use std::rc::Rc;
-use telemetry::{wire, FinishFrame, HopInfo, ProbeFrame};
+use telemetry::{wire, FinishFrame, ProbeFrame};
 use topology::Topo;
 use wfq::{weight_class, WfqScheduler};
 
 /// Timer kind: the periodic control tick (GP, timeouts, probing upkeep).
 const TICK: u64 = 1;
-
-/// Telemetry snapshot for one candidate path.
-#[derive(Debug, Clone, Default)]
-struct PathTelem {
-    hops: Vec<HopInfo>,
-    at: Time,
-}
-
-/// A candidate underlay path.
-#[derive(Debug, Clone)]
-struct PathInfo {
-    route: Vec<PortNo>,
-    base_rtt: Time,
-    n_switch_hops: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Registration {
-    path: usize,
-    phi: f64,
-    w: f64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ProbeOut {
-    seq: u64,
-    path: usize,
-    sent_at: Time,
-}
-
-#[derive(Debug)]
-struct PendingFinish {
-    route: Vec<PortNo>,
-    n_switch_hops: usize,
-    phi: f64,
-    w: f64,
-    seq: u64,
-    epoch: u64,
-    retries: u32,
-    next_retry: Time,
-}
-
-/// Per-pair control state at the source.
-#[derive(Debug)]
-struct PairCtl {
-    tenant: TenantId,
-    src_vm: VmId,
-    dst_host: NodeId,
-    candidates: Vec<PathInfo>,
-    telem: Vec<PathTelem>,
-    cur: usize,
-    /// Sender-assigned token φ_s (GP).
-    phi_s: f64,
-    /// Receiver-admitted token φ_p (∞ until constrained).
-    phi_r: f64,
-    /// Admission window in payload bytes (what the scheduler enforces).
-    window: f64,
-    /// Claimed window from Eqn 3 (what probes register at switches). May
-    /// exceed the admission window for an under-demanded pair — the claim
-    /// keeps W_l honest for work conservation while §3.4's two-stage
-    /// admission bounds what actually enters the fabric.
-    w_claim: f64,
-    /// Two-stage bootstrap window w′ (None = steady state).
-    boot: Option<f64>,
-    registered: Option<Registration>,
-    reg_epoch: u64,
-    probe_seq: u64,
-    outstanding: Option<ProbeOut>,
-    cand_probes: HashMap<u64, ProbeOut>,
-    bytes_since_probe: u64,
-    last_probe_sent: Time,
-    probe_losses: u32,
-    violations: u32,
-    unqualified: u32,
-    freeze_until: Time,
-    better_since: Option<Time>,
-    data_paused_until: Time,
-    /// Pacing gate for sub-MTU windows: no data before this instant.
-    next_send_at: Time,
-    /// Smoothed probe RTT (loss timeout scales with observed RTT so a
-    /// legitimately queued fabric does not look like probe loss).
-    srtt: Time,
-    last_alt_probe: Time,
-    pending_finish: Vec<PendingFinish>,
-    active: bool,
-}
-
-impl PairCtl {
-    fn phi_eff(&self) -> f64 {
-        self.phi_s.min(self.phi_r).max(0.0)
-    }
-
-    fn cur_path(&self) -> &PathInfo {
-        &self.candidates[self.cur]
-    }
-}
 
 /// Counters exported for experiments and tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -170,16 +75,18 @@ pub struct UfabEdge {
     pub ep: Endpoint,
     host: NodeId,
     mtu: u32,
-    pairs: HashMap<PairId, PairCtl>,
+    pairs: PairTable,
     /// Receiver side: sender demand seen per incoming pair.
     rx_demand: HashMap<PairId, (f64, Time)>,
     /// Receiver side: admitted tokens per incoming pair.
     rx_admitted: HashMap<PairId, f64>,
     wfq: WfqScheduler,
-    routes_back: HashMap<NodeId, Vec<PortNo>>,
-    reverse_cache: HashMap<(NodeId, Route), Vec<PortNo>>,
+    routes_back: HashMap<NodeId, Route>,
+    reverse_cache: HashMap<(NodeId, Route), Route>,
     /// Round-robin cursor for the budgeted demand-less keep-alive probes.
     keepalive_cursor: u64,
+    /// Reused buffer for the keep-alive candidate scan (no per-tick alloc).
+    keepalive_scratch: Vec<PairId>,
     /// Counters.
     pub stats: EdgeStats,
     obs: ObsHandle,
@@ -203,13 +110,14 @@ impl UfabEdge {
             ep,
             host,
             mtu,
-            pairs: HashMap::new(),
+            pairs: PairTable::default(),
             rx_demand: HashMap::new(),
             rx_admitted: HashMap::new(),
             wfq: WfqScheduler::new(),
             routes_back: HashMap::new(),
             reverse_cache: HashMap::new(),
             keepalive_cursor: 0,
+            keepalive_scratch: Vec::new(),
             stats: EdgeStats::default(),
             obs: ObsHandle::disabled(),
         }
@@ -232,12 +140,18 @@ impl UfabEdge {
 
     /// Current admission window of a pair in bytes (tests/experiments).
     pub fn window_of(&self, pair: PairId) -> Option<f64> {
-        self.pairs.get(&pair).map(|p| p.window)
+        self.pairs.slot(pair).map(|s| self.pairs.window[s])
     }
 
     /// Every pair this edge currently manages (invariant checkers).
     pub fn pair_ids(&self) -> Vec<PairId> {
-        self.pairs.keys().copied().collect()
+        self.pair_iter().collect()
+    }
+
+    /// Every pair this edge manages, in ascending id order, without
+    /// allocating — the form the periodic invariant audits walk.
+    pub fn pair_iter(&self) -> impl Iterator<Item = PairId> + '_ {
+        self.pairs.ids_sorted()
     }
 
     /// Link MTU this edge segments messages at.
@@ -247,22 +161,24 @@ impl UfabEdge {
 
     /// Index of the pair's current candidate path (tests/experiments).
     pub fn current_path_of(&self, pair: PairId) -> Option<usize> {
-        self.pairs.get(&pair).map(|p| p.cur)
+        self.pairs.slot(pair).map(|s| self.pairs.cold[s].cur)
     }
 
     /// The pair's current route (tests/experiments).
     pub fn route_of(&self, pair: PairId) -> Option<Vec<PortNo>> {
-        self.pairs.get(&pair).map(|p| p.cur_path().route.clone())
+        self.pairs
+            .slot(pair)
+            .map(|s| self.pairs.cur_path(s).route.clone())
     }
 
     /// Effective (min of sender/receiver) token of a pair.
     pub fn phi_of(&self, pair: PairId) -> Option<f64> {
-        self.pairs.get(&pair).map(|p| p.phi_eff())
+        self.pairs.slot(pair).map(|s| self.pairs.phi_eff(s))
     }
 
     /// Claimed (Eqn 3) window of a pair (tests/experiments).
     pub fn claim_of(&self, pair: PairId) -> Option<f64> {
-        self.pairs.get(&pair).map(|p| p.w_claim)
+        self.pairs.slot(pair).map(|s| self.pairs.w_claim[s])
     }
 
     /// §3.3 qualification signal for the fabric manager: `Some(true)`
@@ -270,8 +186,9 @@ impl UfabEdge {
     /// every hop qualified under the target utilization, `Some(false)`
     /// when it does not, `None` before any telemetry has arrived.
     pub fn pair_qualified(&self, pair: PairId) -> Option<bool> {
-        let pc = self.pairs.get(&pair)?;
-        let t = &pc.telem[pc.cur];
+        let s = self.pairs.slot(pair)?;
+        let c = &self.pairs.cold[s];
+        let t = &c.telem[c.cur];
         if t.hops.is_empty() {
             return None;
         }
@@ -285,7 +202,7 @@ impl UfabEdge {
 
     /// Whether a pair is active (tests/experiments).
     pub fn is_active(&self, pair: PairId) -> Option<bool> {
-        self.pairs.get(&pair).map(|p| p.active)
+        self.pairs.slot(pair).map(|s| self.pairs.active[s])
     }
 
     /// Probe/response/migration counters snapshot.
@@ -299,8 +216,9 @@ impl UfabEdge {
 
     /// Route for a reply to `pkt`: retrace the packet's own source route
     /// (it provably works — the packet just arrived on it); fall back to
-    /// a shortest path for unrouted (ECMP) packets.
-    fn reply_route(&mut self, pkt: &Packet) -> Vec<PortNo> {
+    /// a shortest path for unrouted (ECMP) packets. Returns the inline
+    /// [`Route`] directly — the hit path is a memcpy, no allocation.
+    fn reply_route(&mut self, pkt: &Packet) -> Route {
         if pkt.route.is_empty() {
             return self.route_back(pkt.src);
         }
@@ -308,7 +226,7 @@ impl UfabEdge {
         if let Some(r) = self.reverse_cache.get(&key) {
             return r.clone();
         }
-        let rev = self.topo.reverse_route(pkt.src, &pkt.route);
+        let rev: Route = self.topo.reverse_route(pkt.src, &pkt.route).into();
         if self.reverse_cache.len() > 4096 {
             self.reverse_cache.clear();
         }
@@ -316,15 +234,16 @@ impl UfabEdge {
         rev
     }
 
-    fn route_back(&mut self, dst: NodeId) -> Vec<PortNo> {
+    fn route_back(&mut self, dst: NodeId) -> Route {
         if let Some(r) = self.routes_back.get(&dst) {
             return r.clone();
         }
         let paths = self.topo.paths(self.host, dst, 1);
-        let route = paths
+        let route: Route = paths
             .first()
             .unwrap_or_else(|| panic!("no path from {} to {}", self.host, dst))
-            .route();
+            .route()
+            .into();
         self.routes_back.insert(dst, route.clone());
         route
     }
@@ -333,25 +252,31 @@ impl UfabEdge {
         let floor = self.min_window();
         let eta = self.cfg.target_utilization;
         let bu = self.fabric.bu_bps;
-        if let Some(pc) = self.pairs.get_mut(&pair) {
-            if !pc.active {
-                pc.active = true;
+        if let Some(s) = self.pairs.slot(pair) {
+            if !self.pairs.active[s] {
+                self.pairs.active[s] = true;
                 // §3.4 Scenario-2 re-entry: bootstrap from the pair's
                 // *current share* r·T (Eqn 1 over the freshest telemetry),
                 // never below the guarantee BDP.
-                let t_s = pc.cur_path().base_rtt as f64 / 1e9;
-                let guar = pc.phi_eff() * bu;
-                let r = if pc.telem[pc.cur].hops.is_empty() {
-                    guar
-                } else {
-                    rate::path_share_rate(pc.phi_eff(), &pc.telem[pc.cur].hops, eta).max(guar)
+                let t_s = self.pairs.cur_base_rtt[s] as f64 / 1e9;
+                let phi = self.pairs.phi_eff(s);
+                let guar = phi * bu;
+                let r = {
+                    let c = &self.pairs.cold[s];
+                    if c.telem[c.cur].hops.is_empty() {
+                        guar
+                    } else {
+                        rate::path_share_rate(phi, &c.telem[c.cur].hops, eta).max(guar)
+                    }
                 };
                 if self.cfg.bounded_latency {
-                    pc.boot = Some(rate::bootstrap_window(r, t_s).max(floor));
-                    pc.window = pc.boot.unwrap();
+                    let b = rate::bootstrap_window(r, t_s).max(floor);
+                    self.pairs.boot[s] = Some(b);
+                    self.pairs.window[s] = b;
                 }
-                pc.w_claim = pc.window.max(pc.w_claim.min(8.0 * pc.window));
-                self.wfq.add_pair(pc.tenant, pair);
+                self.pairs.w_claim[s] =
+                    self.pairs.window[s].max(self.pairs.w_claim[s].min(8.0 * self.pairs.window[s]));
+                self.wfq.add_pair(self.pairs.cold[s].tenant, pair);
                 self.register_on_current(ctx, pair);
             }
             return;
@@ -359,7 +284,6 @@ impl UfabEdge {
         // Fresh pair: build candidates.
         let spec = self.fabric.pair(pair);
         let src_vm = spec.src;
-        let _dst_vm = spec.dst;
         let tenant = self.fabric.pair_tenant(pair);
         let dst_host = self.fabric.pair_dst_host(pair);
         assert_eq!(self.fabric.pair_src_host(pair), self.host, "pair not ours");
@@ -391,8 +315,10 @@ impl UfabEdge {
         let vm_tokens = self.fabric.vm_tokens(src_vm);
         let n_active = 1 + self
             .pairs
-            .values()
-            .filter(|p| p.src_vm == src_vm && p.active)
+            .cold
+            .iter()
+            .zip(self.pairs.active.iter())
+            .filter(|(c, &a)| c.src_vm == src_vm && a)
             .count();
         let phi_s = vm_tokens / n_active as f64;
         let t_s = candidates[cur].base_rtt as f64 / 1e9;
@@ -409,38 +335,21 @@ impl UfabEdge {
                 rate::bootstrap_window(guar, t_s).max(self.min_window())
             })
             .max(self.min_window());
-        let pc = PairCtl {
+        let cold = PairCold {
             tenant,
             src_vm,
             dst_host,
             candidates,
             telem: vec![PathTelem::default(); n_cand],
             cur,
-            phi_s,
-            phi_r: f64::INFINITY,
-            window,
-            w_claim: window,
-            boot,
             registered: None,
             reg_epoch: 0,
             probe_seq: 0,
-            outstanding: None,
             cand_probes: HashMap::new(),
-            bytes_since_probe: 0,
-            last_probe_sent: 0,
-            probe_losses: 0,
-            violations: 0,
-            unqualified: 0,
-            freeze_until: 0,
             better_since: None,
-            data_paused_until: 0,
-            next_send_at: 0,
-            srtt: 0,
-            last_alt_probe: ctx.now,
             pending_finish: Vec::new(),
-            active: true,
         };
-        self.pairs.insert(pair, pc);
+        self.pairs.insert(pair, cold, phi_s, window, boot, ctx.now);
         self.wfq
             .set_tenant(tenant, weight_class(vm_tokens, self.cfg.wfq_levels));
         self.wfq.add_pair(tenant, pair);
@@ -450,58 +359,55 @@ impl UfabEdge {
 
     /// Send the registering probe on the current path.
     fn register_on_current(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        let phi = pc.phi_eff();
-        let w = pc.w_claim;
-        let cur = pc.cur;
-        pc.registered = Some(Registration { path: cur, phi, w });
+        let phi = self.pairs.phi_eff(s);
+        let w = self.pairs.w_claim[s];
+        let cur = self.pairs.cold[s].cur;
+        self.pairs.cold[s].registered = Some(Registration { path: cur, phi, w });
         self.send_probe(ctx, pair, cur, true);
     }
 
     /// Probe every non-current candidate read-only (registration-free).
     fn probe_candidates(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let n = match self.pairs.get(&pair) {
-            Some(pc) => pc.candidates.len(),
-            None => return,
+        let Some(s) = self.pairs.slot(pair) else {
+            return;
         };
+        let n = self.pairs.cold[s].candidates.len();
         for i in 0..n {
-            let is_cur = self.pairs[&pair].cur == i;
-            if !is_cur {
+            if self.pairs.cold[s].cur != i {
                 self.send_probe(ctx, pair, i, false);
             }
         }
-        if let Some(pc) = self.pairs.get_mut(&pair) {
-            pc.last_alt_probe = ctx.now;
-        }
+        self.pairs.last_alt_probe[s] = ctx.now;
     }
 
     /// Emit one probe on candidate `path_idx`. `registering` sends full
     /// values for switch registration; otherwise the probe carries deltas
     /// on the current path and nothing (pure read) on candidates.
     fn send_probe(&mut self, ctx: &mut EdgeCtx, pair: PairId, path_idx: usize, registering: bool) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        let seq = pc.probe_seq;
-        pc.probe_seq += 1;
-        let phi = pc.phi_eff();
-        let w = pc.w_claim;
+        let seq = self.pairs.cold[s].probe_seq;
+        self.pairs.cold[s].probe_seq += 1;
+        let phi = self.pairs.phi_eff(s);
+        let w = self.pairs.w_claim[s];
         let mut frame = ProbeFrame::probe(pair.raw(), seq, phi, w, ctx.now);
-        let is_cur = path_idx == pc.cur;
+        let is_cur = path_idx == self.pairs.cold[s].cur;
         if registering {
             frame.registering = true;
-            pc.reg_epoch += 1;
-            frame.epoch = pc.reg_epoch;
-            pc.registered = Some(Registration {
+            self.pairs.cold[s].reg_epoch += 1;
+            frame.epoch = self.pairs.cold[s].reg_epoch;
+            self.pairs.cold[s].registered = Some(Registration {
                 path: path_idx,
                 phi,
                 w,
             });
         } else if is_cur {
-            frame.epoch = pc.reg_epoch;
-            if let Some(reg) = &mut pc.registered {
+            frame.epoch = self.pairs.cold[s].reg_epoch;
+            if let Some(reg) = &mut self.pairs.cold[s].registered {
                 frame.phi_delta = phi - reg.phi;
                 frame.w_delta = w - reg.w;
                 reg.phi = phi;
@@ -514,22 +420,23 @@ impl UfabEdge {
             sent_at: ctx.now,
         };
         if is_cur {
-            pc.outstanding = Some(out);
-            pc.bytes_since_probe = 0;
-            pc.last_probe_sent = ctx.now;
+            self.pairs.outstanding[s] = Some(out);
+            self.pairs.bytes_since_probe[s] = 0;
+            self.pairs.last_probe_sent[s] = ctx.now;
         } else {
-            pc.cand_probes.insert(seq, out);
+            self.pairs.cold[s].cand_probes.insert(seq, out);
         }
-        let info = &pc.candidates[path_idx];
+        let c = &self.pairs.cold[s];
+        let info = &c.candidates[path_idx];
         let size = wire::probe_packet_bytes(info.n_switch_hops, info.route.len()) as u32;
         let pkt = Packet {
             src: self.host,
-            dst: pc.dst_host,
+            dst: c.dst_host,
             pair,
-            tenant: pc.tenant,
+            tenant: c.tenant,
             size,
             kind: PacketKind::Probe(frame),
-            route: info.route.clone().into(),
+            route: Route::from(info.route.as_slice()),
             hop: 0,
             ecn: false,
             max_util: 0.0,
@@ -542,23 +449,23 @@ impl UfabEdge {
     /// Self-clocked probing (§4.1): after a response, the next probe goes
     /// out once L_m data bytes have been sent.
     fn maybe_probe(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let Some(pc) = self.pairs.get(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        if !pc.active || pc.outstanding.is_some() {
+        if !self.pairs.active[s] || self.pairs.outstanding[s].is_some() {
             return;
         }
         match self.cfg.probe_period_rtts {
             None => {
-                if pc.bytes_since_probe >= self.cfg.probe_lm_bytes {
-                    let cur = pc.cur;
+                if self.pairs.bytes_since_probe[s] >= self.cfg.probe_lm_bytes {
+                    let cur = self.pairs.cold[s].cur;
                     self.send_probe(ctx, pair, cur, false);
                 }
             }
             Some(n) => {
-                let period = n * pc.cur_path().base_rtt;
-                if ctx.now.saturating_sub(pc.last_probe_sent) >= period {
-                    let cur = pc.cur;
+                let period = n * self.pairs.cur_base_rtt[s];
+                if ctx.now.saturating_sub(self.pairs.last_probe_sent[s]) >= period {
+                    let cur = self.pairs.cold[s].cur;
                     self.send_probe(ctx, pair, cur, false);
                 }
             }
@@ -588,25 +495,25 @@ impl UfabEdge {
 
     fn handle_response(&mut self, ctx: &mut EdgeCtx, frame: ProbeFrame) {
         let pair = PairId(frame.pair);
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
         self.stats.responses += 1;
         if let Some(rx_phi) = frame.rx_phi {
-            pc.phi_r = rx_phi;
+            self.pairs.phi_r[s] = rx_phi;
         }
         // Which path does this telemetry describe?
-        let path_idx = if pc.outstanding.map(|o| o.seq) == Some(frame.seq) {
-            let o = pc.outstanding.take().expect("checked");
-            pc.probe_losses = 0;
+        let path_idx = if self.pairs.outstanding[s].map(|o| o.seq) == Some(frame.seq) {
+            let o = self.pairs.outstanding[s].take().expect("checked");
+            self.pairs.probe_losses[s] = 0;
             let sample = ctx.now.saturating_sub(o.sent_at);
-            pc.srtt = if pc.srtt == 0 {
+            self.pairs.srtt[s] = if self.pairs.srtt[s] == 0 {
                 sample
             } else {
-                (3 * pc.srtt + sample) / 4
+                (3 * self.pairs.srtt[s] + sample) / 4
             };
             o.path
-        } else if let Some(o) = pc.cand_probes.remove(&frame.seq) {
+        } else if let Some(o) = self.pairs.cold[s].cand_probes.remove(&frame.seq) {
             o.path
         } else {
             return; // stale / duplicate
@@ -623,7 +530,7 @@ impl UfabEdge {
         // independently-noisy terms is biased low — smoothing each hop
         // before the min removes most of that bias (the register-backed
         // Φ_l/W_l are low-noise and taken fresh).
-        let prev = std::mem::take(&mut pc.telem[path_idx]);
+        let prev = std::mem::take(&mut self.pairs.cold[s].telem[path_idx]);
         let mut hops = frame.hops.clone();
         if prev.hops.len() == hops.len() {
             for (h, p) in hops.iter_mut().zip(prev.hops.iter()) {
@@ -637,25 +544,31 @@ impl UfabEdge {
         // link. Mark the path's telemetry stale and migrate right away —
         // no need to wait out the probe-loss timeout.
         if frame.kind == telemetry::ProbeKind::Failure {
-            pc.telem[path_idx] = PathTelem::default();
-            if path_idx == pc.cur {
-                pc.violations = self.cfg.violation_rtts;
+            self.pairs.cold[s].telem[path_idx] = PathTelem::default();
+            if path_idx == self.pairs.cold[s].cur {
+                self.pairs.violations[s] = self.cfg.violation_rtts;
                 self.stats.probe_timeouts += 1;
                 self.probe_candidates(ctx, pair);
                 self.try_migrate(ctx, pair, false, true);
             }
             return;
         }
-        pc.telem[path_idx] = PathTelem { hops, at: ctx.now };
-        if path_idx != pc.cur {
+        self.pairs.cold[s].telem[path_idx] = PathTelem { hops, at: ctx.now };
+        if path_idx != self.pairs.cold[s].cur {
             return;
         }
         // ---- Rate control on the current path (Eqn 3 + two-stage) ----
         let eta = self.cfg.target_utilization;
-        let t_s = pc.cur_path().base_rtt as f64 / 1e9;
-        let phi = pc.phi_eff();
-        let hops = &pc.telem[path_idx].hops;
-        let w3 = rate::path_window(phi, pc.w_claim, hops, t_s, eta, self.mtu);
+        let t_s = self.pairs.cur_base_rtt[s] as f64 / 1e9;
+        let phi = self.pairs.phi_eff(s);
+        let w3 = rate::path_window(
+            phi,
+            self.pairs.w_claim[s],
+            &self.pairs.cold[s].telem[path_idx].hops,
+            t_s,
+            eta,
+            self.mtu,
+        );
         let floor = self.cfg.min_window_mtus * (self.mtu - DATA_OVERHEAD) as f64;
         // The *claim* tracks Eqn 3: an under-demanded pair keeps claiming
         // its proportional share so W_l stays honest and the
@@ -666,20 +579,27 @@ impl UfabEdge {
         // equilibrates below target utilisation (Appendix C's stability
         // argument: adaptation must be scaled to the RTT).
         let gain = self.cfg.claim_gain;
-        pc.w_claim = (pc.w_claim + gain * (w3 - pc.w_claim)).max(floor);
-        let r_share = rate::path_share_rate(phi, hops, eta);
+        self.pairs.w_claim[s] =
+            (self.pairs.w_claim[s] + gain * (w3 - self.pairs.w_claim[s])).max(floor);
+        let r_share = rate::path_share_rate(phi, &self.pairs.cold[s].telem[path_idx].hops, eta);
         let measured_tx = self.ep.tx_rate_bps(ctx.now, pair);
         let window_limited = self.ep.has_backlog(pair);
         if self.cfg.bounded_latency {
-            match pc.boot {
+            match self.pairs.boot[s] {
                 Some(boot) => {
                     if window_limited {
                         // Stage-1 additive increase, one share-BDP per RTT.
-                        let next = boot + rate::bootstrap_increment(phi, hops, t_s, eta);
-                        if next >= pc.w_claim {
-                            pc.boot = None;
+                        let next = boot
+                            + rate::bootstrap_increment(
+                                phi,
+                                &self.pairs.cold[s].telem[path_idx].hops,
+                                t_s,
+                                eta,
+                            );
+                        if next >= self.pairs.w_claim[s] {
+                            self.pairs.boot[s] = None;
                         } else {
-                            pc.boot = Some(next);
+                            self.pairs.boot[s] = Some(next);
                         }
                     }
                     // Under-demanded pairs hold at their bootstrap level.
@@ -689,23 +609,31 @@ impl UfabEdge {
                     // not keep an armed full-size window — re-enter the
                     // ramp from r·T so a sudden burst stays bounded.
                     if !window_limited && measured_tx < 0.9 * r_share {
-                        pc.boot = Some(rate::bootstrap_window(r_share, t_s).max(floor));
+                        self.pairs.boot[s] = Some(rate::bootstrap_window(r_share, t_s).max(floor));
                     }
                 }
             }
-            pc.window = pc.boot.unwrap_or(pc.w_claim).min(pc.w_claim).max(floor);
+            self.pairs.window[s] = self.pairs.boot[s]
+                .unwrap_or(self.pairs.w_claim[s])
+                .min(self.pairs.w_claim[s])
+                .max(floor);
         } else {
-            pc.window = pc.w_claim;
+            self.pairs.window[s] = self.pairs.w_claim[s];
         }
         // Eqn 1 is a *lower bound*: the pair may always keep r·T inflight
         // on a qualified path, whatever the claim dynamics say.
-        if rate::path_qualified(hops, 0.0, self.fabric.bu_bps, eta) {
+        if rate::path_qualified(
+            &self.pairs.cold[s].telem[path_idx].hops,
+            0.0,
+            self.fabric.bu_bps,
+            eta,
+        ) {
             let r_window = rate::bootstrap_window(r_share, t_s);
-            pc.window = pc.window.max(r_window);
-            pc.w_claim = pc.w_claim.max(r_window);
+            self.pairs.window[s] = self.pairs.window[s].max(r_window);
+            self.pairs.w_claim[s] = self.pairs.w_claim[s].max(r_window);
         }
         {
-            let (window, phi_r) = (pc.window, pc.phi_r);
+            let (window, phi_r) = (self.pairs.window[s], self.pairs.phi_r[s]);
             let edge = self.host.raw();
             self.obs
                 .rec(ObsCategory::Window, ctx.now, || ObsEvent::Window {
@@ -719,62 +647,68 @@ impl UfabEdge {
         // ---- Guarantee violation bookkeeping (§3.5 trigger i) ----
         let bu = self.fabric.bu_bps;
         let guar = phi * bu;
-        let unqualified = !rate::path_qualified(hops, 0.0, bu, eta);
+        let unqualified =
+            !rate::path_qualified(&self.pairs.cold[s].telem[path_idx].hops, 0.0, bu, eta);
         let has_demand = self.ep.has_backlog(pair) || self.ep.inflight(pair) > 0;
         let measured = self.ep.delivered_rate_bps(ctx.now, pair);
         if has_demand && guar > 0.0 && (measured < 0.85 * guar || unqualified) {
-            pc.violations += 1;
+            self.pairs.violations[s] += 1;
         } else {
-            pc.violations = 0;
+            self.pairs.violations[s] = 0;
         }
         // An explicitly-unqualified path (C_l < Φ_l·B_u) provably cannot
         // serve anyone's guarantee (§3.3) — two consecutive sightings are
         // enough to act, while measured-rate violations keep the cautious
         // 5-RTT hold of §3.5.
         if unqualified {
-            pc.unqualified += 1;
+            self.pairs.unqualified[s] += 1;
         } else {
-            pc.unqualified = 0;
+            self.pairs.unqualified[s] = 0;
         }
         // Disqualification alone is not actionable (the placement may be
         // hose-infeasible and everyone still gets a proportional share);
         // it only accelerates an actual measured violation.
-        let migrate_violation = (pc.violations >= self.cfg.violation_rtts
-            || (pc.unqualified >= 2 && pc.violations >= 2))
-            && ctx.now >= pc.freeze_until;
-        let sustained = pc.violations >= self.cfg.violation_rtts;
+        let migrate_violation = (self.pairs.violations[s] >= self.cfg.violation_rtts
+            || (self.pairs.unqualified[s] >= 2 && self.pairs.violations[s] >= 2))
+            && ctx.now >= self.pairs.freeze_until[s];
+        let sustained = self.pairs.violations[s] >= self.cfg.violation_rtts;
         // ---- Work-conservation trigger (ii): persistently better path --
-        let cur_potential = rate::path_potential_rate(phi, hops, eta);
+        let cur_potential =
+            rate::path_potential_rate(phi, &self.pairs.cold[s].telem[path_idx].hops, eta);
+        let fresh_limit = 20 * self.pairs.cur_base_rtt[s];
         let mut best_alt: Option<(usize, f64)> = None;
-        for (i, t) in pc.telem.iter().enumerate() {
-            if i == pc.cur || t.hops.is_empty() {
-                continue;
-            }
-            if ctx.now.saturating_sub(t.at) > 20 * pc.cur_path().base_rtt {
-                continue;
-            }
-            if !rate::path_qualified(&t.hops, phi, bu, eta) {
-                continue;
-            }
-            let p = rate::path_potential_rate(phi, &t.hops, eta);
-            if best_alt.map(|(_, bp)| p > bp).unwrap_or(true) {
-                best_alt = Some((i, p));
+        {
+            let c = &self.pairs.cold[s];
+            for (i, t) in c.telem.iter().enumerate() {
+                if i == c.cur || t.hops.is_empty() {
+                    continue;
+                }
+                if ctx.now.saturating_sub(t.at) > fresh_limit {
+                    continue;
+                }
+                if !rate::path_qualified(&t.hops, phi, bu, eta) {
+                    continue;
+                }
+                let p = rate::path_potential_rate(phi, &t.hops, eta);
+                if best_alt.map(|(_, bp)| p > bp).unwrap_or(true) {
+                    best_alt = Some((i, p));
+                }
             }
         }
         let mut migrate_wc = false;
         if let Some((_, alt_p)) = best_alt {
             if alt_p > 1.25 * cur_potential && has_demand {
-                let since = *pc.better_since.get_or_insert(ctx.now);
+                let since = *self.pairs.cold[s].better_since.get_or_insert(ctx.now);
                 if ctx.now.saturating_sub(since) >= self.cfg.better_path_hold
-                    && ctx.now >= pc.freeze_until
+                    && ctx.now >= self.pairs.freeze_until[s]
                 {
                     migrate_wc = true;
                 }
             } else {
-                pc.better_since = None;
+                self.pairs.cold[s].better_since = None;
             }
         } else {
-            pc.better_since = None;
+            self.pairs.cold[s].better_since = None;
         }
         if migrate_violation || migrate_wc {
             self.try_migrate(ctx, pair, migrate_wc && !migrate_violation, sustained);
@@ -792,33 +726,36 @@ impl UfabEdge {
         work_conservation: bool,
         sustained: bool,
     ) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
         let eta = self.cfg.target_utilization;
         let bu = self.fabric.bu_bps;
-        let phi = pc.phi_eff();
-        let fresh_limit = 20 * pc.cur_path().base_rtt;
-        let cur_sub = if pc.telem[pc.cur].hops.is_empty() {
-            f64::INFINITY
-        } else {
-            rate::path_subscription(&pc.telem[pc.cur].hops, 0.0, bu, eta)
-        };
+        let phi = self.pairs.phi_eff(s);
+        let fresh_limit = 20 * self.pairs.cur_base_rtt[s];
         let mut qualified: Vec<(usize, f64, f64)> = Vec::new(); // (idx, subscription, potential)
         let mut fresh: Vec<(usize, f64)> = Vec::new(); // (idx, subscription)
-        for (i, t) in pc.telem.iter().enumerate() {
-            if i == pc.cur || t.hops.is_empty() {
-                continue;
+        let cur_sub = {
+            let c = &self.pairs.cold[s];
+            for (i, t) in c.telem.iter().enumerate() {
+                if i == c.cur || t.hops.is_empty() {
+                    continue;
+                }
+                if ctx.now.saturating_sub(t.at) > fresh_limit {
+                    continue;
+                }
+                let sub = rate::path_subscription(&t.hops, phi, bu, eta);
+                fresh.push((i, sub));
+                if rate::path_qualified(&t.hops, phi, bu, eta) {
+                    qualified.push((i, sub, rate::path_potential_rate(phi, &t.hops, eta)));
+                }
             }
-            if ctx.now.saturating_sub(t.at) > fresh_limit {
-                continue;
+            if c.telem[c.cur].hops.is_empty() {
+                f64::INFINITY
+            } else {
+                rate::path_subscription(&c.telem[c.cur].hops, 0.0, bu, eta)
             }
-            let sub = rate::path_subscription(&t.hops, phi, bu, eta);
-            fresh.push((i, sub));
-            if rate::path_qualified(&t.hops, phi, bu, eta) {
-                qualified.push((i, sub, rate::path_potential_rate(phi, &t.hops, eta)));
-            }
-        }
+        };
         if qualified.is_empty() {
             // No qualified candidate. §3.6: over-subscribed placements are
             // "digested by the headroom and migration due to bandwidth
@@ -835,10 +772,8 @@ impl UfabEdge {
                         self.do_migrate(ctx, pair, best);
                         // Descents between over-subscribed paths are prone
                         // to ping-pong; hold them back much longer.
-                        if let Some(pc) = self.pairs.get_mut(&pair) {
-                            let hold = pc.freeze_until.saturating_sub(ctx.now);
-                            pc.freeze_until = ctx.now + 4 * hold.max(1);
-                        }
+                        let hold = self.pairs.freeze_until[s].saturating_sub(ctx.now);
+                        self.pairs.freeze_until[s] = ctx.now + 4 * hold.max(1);
                         return;
                     }
                 }
@@ -875,51 +810,56 @@ impl UfabEdge {
     /// the candidate set (keeps the §3.5 random-subset search moving when
     /// every sampled candidate is disqualified).
     fn resample_candidate(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        let all = self
-            .topo
-            .paths(self.host, pc.dst_host, self.cfg.path_enum_cap);
-        if all.len() <= pc.candidates.len() {
+        let dst_host = self.pairs.cold[s].dst_host;
+        let all = self.topo.paths(self.host, dst_host, self.cfg.path_enum_cap);
+        if all.len() <= self.pairs.cold[s].candidates.len() {
             return; // nothing new to draw from
         }
-        let existing: Vec<Vec<PortNo>> = pc.candidates.iter().map(|c| c.route.clone()).collect();
-        let fresh_paths: Vec<&topology::Path> = all
-            .iter()
-            .filter(|p| !existing.contains(&p.route()))
-            .collect();
-        if fresh_paths.is_empty() || pc.candidates.len() < 2 {
+        let (n_cand, cur, fresh_idx) = {
+            let c = &self.pairs.cold[s];
+            let existing: Vec<Vec<PortNo>> =
+                c.candidates.iter().map(|cand| cand.route.clone()).collect();
+            let fresh_idx: Vec<usize> = (0..all.len())
+                .filter(|&i| !existing.contains(&all[i].route()))
+                .collect();
+            (c.candidates.len(), c.cur, fresh_idx)
+        };
+        if fresh_idx.is_empty() || n_cand < 2 {
             return;
         }
-        let new_path = fresh_paths[ctx.rng.gen_range(0..fresh_paths.len())];
+        let new_path = &all[fresh_idx[ctx.rng.gen_range(0..fresh_idx.len())]];
         // Replace a random candidate that is not the current one.
-        let mut victim = ctx.rng.gen_range(0..pc.candidates.len());
-        if victim == pc.cur {
-            victim = (victim + 1) % pc.candidates.len();
+        let mut victim = ctx.rng.gen_range(0..n_cand);
+        if victim == cur {
+            victim = (victim + 1) % n_cand;
         }
-        pc.candidates[victim] = PathInfo {
+        let info = PathInfo {
             route: new_path.route(),
             base_rtt: self.topo.base_rtt_path(new_path),
             n_switch_hops: new_path.n_links().saturating_sub(1),
         };
-        pc.telem[victim] = PathTelem::default();
+        let c = &mut self.pairs.cold[s];
+        c.candidates[victim] = info;
+        c.telem[victim] = PathTelem::default();
     }
 
     fn do_migrate(&mut self, ctx: &mut EdgeCtx, pair: PairId, new_idx: usize) {
         let floor = self.min_window();
         let eta = self.cfg.target_utilization;
         let bu = self.fabric.bu_bps;
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        if new_idx == pc.cur {
+        if new_idx == self.pairs.cold[s].cur {
             return;
         }
         self.stats.migrations += 1;
         self.ep.recorder().borrow_mut().path_migrations += 1;
         {
-            let (from, to) = (pc.cur as u8, new_idx as u8);
+            let (from, to) = (self.pairs.cold[s].cur as u8, new_idx as u8);
             let edge = self.host.raw();
             self.obs
                 .rec(ObsCategory::Migration, ctx.now, || ObsEvent::Migration {
@@ -930,60 +870,69 @@ impl UfabEdge {
                 });
         }
         // Deregister from the old path.
-        if let Some(reg) = pc.registered.take() {
-            let old = &pc.candidates[reg.path];
-            pc.pending_finish.push(PendingFinish {
+        if let Some(reg) = self.pairs.cold[s].registered.take() {
+            let c = &mut self.pairs.cold[s];
+            let old = &c.candidates[reg.path];
+            let pf = PendingFinish {
                 route: old.route.clone(),
                 n_switch_hops: old.n_switch_hops,
                 phi: reg.phi,
                 w: reg.w,
-                seq: pc.probe_seq,
-                epoch: pc.reg_epoch,
+                seq: c.probe_seq,
+                epoch: c.reg_epoch,
                 retries: 0,
                 next_retry: ctx.now,
-            });
-            pc.probe_seq += 1;
+            };
+            c.pending_finish.push(pf);
+            c.probe_seq += 1;
         }
-        pc.cur = new_idx;
-        pc.violations = 0;
-        pc.unqualified = 0;
-        pc.outstanding = None;
-        pc.better_since = None;
-        let base = pc.cur_path().base_rtt;
+        self.pairs.set_cur(s, new_idx);
+        self.pairs.violations[s] = 0;
+        self.pairs.unqualified[s] = 0;
+        self.pairs.outstanding[s] = None;
+        self.pairs.cold[s].better_since = None;
+        let base = self.pairs.cur_base_rtt[s];
         let n = ctx.rng.gen_range(1..=self.cfg.freeze_rtts_max.max(1));
-        pc.freeze_until = ctx.now + n * base;
+        self.pairs.freeze_until[s] = ctx.now + n * base;
         if self.cfg.reorder_free {
-            pc.data_paused_until = ctx.now + base;
+            self.pairs.data_paused_until[s] = ctx.now + base;
         }
         // Scenario-2 bootstrap on the new path: start from the
         // proportional share the new path's telemetry promises.
         let t_s = base as f64 / 1e9;
-        let hops = &pc.telem[new_idx].hops;
-        let r = if hops.is_empty() {
-            pc.phi_eff() * bu
-        } else {
-            rate::path_share_rate(pc.phi_eff(), hops, eta)
+        let phi = self.pairs.phi_eff(s);
+        let r = {
+            let hops = &self.pairs.cold[s].telem[new_idx].hops;
+            if hops.is_empty() {
+                phi * bu
+            } else {
+                rate::path_share_rate(phi, hops, eta)
+            }
         };
         let w0 = rate::bootstrap_window(r, t_s).max(floor);
         if self.cfg.bounded_latency {
-            pc.boot = Some(w0);
+            self.pairs.boot[s] = Some(w0);
         }
-        pc.window = w0;
-        pc.w_claim = w0;
+        self.pairs.window[s] = w0;
+        self.pairs.w_claim[s] = w0;
         self.register_on_current(ctx, pair);
         self.flush_finish(ctx, pair);
     }
 
     fn flush_finish(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
+        if self.pairs.cold[s].pending_finish.is_empty() {
+            return;
+        }
+        let retry_after = 4 * self.pairs.cur_base_rtt[s];
+        let c = &mut self.pairs.cold[s];
         // Drop finishes that exhausted their retries (dead path; the
         // switch idle-cleanup reclaims those registrations).
-        pc.pending_finish.retain(|pf| pf.retries <= 10);
-        let retry_after = 4 * pc.candidates[pc.cur].base_rtt;
+        c.pending_finish.retain(|pf| pf.retries <= 10);
         let mut to_send = Vec::new();
-        for pf in pc.pending_finish.iter_mut() {
+        for pf in c.pending_finish.iter_mut() {
             if ctx.now < pf.next_retry {
                 continue;
             }
@@ -993,10 +942,10 @@ impl UfabEdge {
             frame.epoch = pf.epoch;
             frame.forward = true;
             let size = wire::probe_packet_bytes(pf.n_switch_hops, pf.route.len()) as u32;
-            to_send.push((frame, size, pf.route.clone()));
+            to_send.push((frame, size, Route::from(pf.route.as_slice())));
         }
-        let dst = pc.dst_host;
-        let tenant = pc.tenant;
+        let dst = c.dst_host;
+        let tenant = c.tenant;
         for (frame, size, route) in to_send {
             self.stats.finishes += 1;
             ctx.send(Packet {
@@ -1006,7 +955,7 @@ impl UfabEdge {
                 tenant,
                 size,
                 kind: PacketKind::Finish(frame),
-                route: route.into(),
+                route,
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
@@ -1017,28 +966,28 @@ impl UfabEdge {
 
     /// GP sender side: split each local VM's hose across its active pairs.
     fn gp_sender_tick(&mut self, now: Time) {
-        let mut by_vm: HashMap<VmId, Vec<PairId>> = HashMap::new();
-        for (id, pc) in &self.pairs {
-            if pc.active {
-                by_vm.entry(pc.src_vm).or_default().push(*id);
+        let mut by_vm: HashMap<VmId, Vec<u32>> = HashMap::new();
+        // Walking slots in PairId order keeps each VM's list sorted.
+        for s in self.pairs.slots_sorted() {
+            if self.pairs.active[s] {
+                by_vm
+                    .entry(self.pairs.cold[s].src_vm)
+                    .or_default()
+                    .push(s as u32);
             }
         }
-        for (vm, mut pair_ids) in by_vm {
-            pair_ids.sort();
+        for (vm, slots) in by_vm {
             let phi_vm = self.fabric.vm_tokens(vm);
-            let mut views: Vec<PairTokens> = pair_ids
+            let mut views: Vec<PairTokens> = slots
                 .iter()
-                .map(|&p| {
-                    let tx = self.ep.tx_rate_bps(now, p);
-                    let phi_r = self.pairs[&p].phi_r;
-                    PairTokens::new(tx, phi_r)
+                .map(|&s| {
+                    let tx = self.ep.tx_rate_bps(now, self.pairs.id(s as usize));
+                    PairTokens::new(tx, self.pairs.phi_r[s as usize])
                 })
                 .collect();
             token_assignment(phi_vm, self.fabric.bu_bps, &mut views);
-            for (p, v) in pair_ids.iter().zip(&views) {
-                if let Some(pc) = self.pairs.get_mut(p) {
-                    pc.phi_s = v.phi_s;
-                }
+            for (&s, v) in slots.iter().zip(&views) {
+                self.pairs.phi_s[s as usize] = v.phi_s;
             }
         }
     }
@@ -1070,54 +1019,45 @@ impl UfabEdge {
         let now = ctx.now;
         self.gp_sender_tick(now);
         self.gp_receiver_tick(now);
-        // Sorted so probe/timeout/migration processing order is
-        // independent of HashMap hashing — keeps same-seed runs
-        // byte-identical across processes (checked by the determinism
-        // digest).
-        let mut pair_ids: Vec<PairId> = self.pairs.keys().copied().collect();
-        pair_ids.sort();
+        // The walk follows the table's sorted order (ascending PairId) so
+        // probe/timeout/migration processing order is independent of hash
+        // state — keeps same-seed runs byte-identical across processes
+        // (checked by the determinism digest). Slots are stable: nothing
+        // in the loop body inserts or removes pairs.
+        let n_pairs = self.pairs.len();
         let mut need_pump = false;
-        for pair in pair_ids {
+        for k in 0..n_pairs {
+            let s = self.pairs.slot_at(k);
+            let pair = self.pairs.id(s);
             // Probe-loss detection (8 baseRTT timeout, §4.1).
-            let (timed_out, base, active, idle_since, rto_due, alt_due, period_probe) = {
-                let pc = &self.pairs[&pair];
-                let base = pc.cur_path().base_rtt;
-                let timeout = (self.cfg.probe_timeout_rtts * base).max(3 * pc.srtt);
-                let timed_out = pc
-                    .outstanding
-                    .map(|o| now.saturating_sub(o.sent_at) > timeout)
-                    .unwrap_or(false);
-                let idle_since = self.ep.last_activity(pair);
-                let rto_due = self.ep.inflight(pair) > 0;
-                let alt_due =
-                    pc.active && now.saturating_sub(pc.last_alt_probe) >= self.cfg.alt_probe_period;
-                let period_probe =
-                    pc.active && self.cfg.probe_period_rtts.is_some() && pc.outstanding.is_none();
-                (
-                    timed_out,
-                    base,
-                    pc.active,
-                    idle_since,
-                    rto_due,
-                    alt_due,
-                    period_probe,
-                )
-            };
+            let base = self.pairs.cur_base_rtt[s];
+            let active = self.pairs.active[s];
+            let timeout = (self.cfg.probe_timeout_rtts * base).max(3 * self.pairs.srtt[s]);
+            let timed_out = self.pairs.outstanding[s]
+                .map(|o| now.saturating_sub(o.sent_at) > timeout)
+                .unwrap_or(false);
+            let idle_since = self.ep.last_activity(pair);
+            let rto_due = self.ep.inflight(pair) > 0;
+            let alt_due = active
+                && now.saturating_sub(self.pairs.last_alt_probe[s]) >= self.cfg.alt_probe_period;
+            let period_probe = active
+                && self.cfg.probe_period_rtts.is_some()
+                && self.pairs.outstanding[s].is_none();
             if timed_out {
                 self.stats.probe_timeouts += 1;
-                let pc = self.pairs.get_mut(&pair).expect("known pair");
-                pc.outstanding = None;
-                pc.probe_losses += 1;
-                if pc.probe_losses >= 2 && now >= pc.freeze_until {
+                self.pairs.outstanding[s] = None;
+                self.pairs.probe_losses[s] += 1;
+                if self.pairs.probe_losses[s] >= 2 && now >= self.pairs.freeze_until[s] {
                     // Path considered failed: mark telemetry stale and
                     // migrate anywhere qualified.
-                    pc.telem[pc.cur] = PathTelem::default();
-                    pc.violations = self.cfg.violation_rtts;
+                    let cur = self.pairs.cold[s].cur;
+                    self.pairs.cold[s].telem[cur] = PathTelem::default();
+                    self.pairs.violations[s] = self.cfg.violation_rtts;
                     self.probe_candidates(ctx, pair);
                     self.try_migrate(ctx, pair, false, true);
                 } else {
-                    let cur = pc.cur;
-                    let registered = pc.registered.is_some();
+                    let cur = self.pairs.cold[s].cur;
+                    let registered = self.pairs.cold[s].registered.is_some();
                     self.send_probe(ctx, pair, cur, !registered);
                 }
             }
@@ -1150,28 +1090,32 @@ impl UfabEdge {
         // loop alive. These extra probes rotate across pairs under a
         // fixed per-host budget (≤2 per token tick), so their aggregate
         // bandwidth is bounded regardless of the pair count.
-        let mut idle_candidates: Vec<PairId> = self
-            .pairs
-            .iter()
-            .filter(|(_, pc)| {
-                pc.active
-                    && pc.outstanding.is_none()
-                    && now.saturating_sub(pc.last_probe_sent) >= 4 * pc.cur_path().base_rtt
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        idle_candidates.sort();
+        let mut idle_candidates = std::mem::take(&mut self.keepalive_scratch);
+        idle_candidates.clear();
+        for s in self.pairs.slots_sorted() {
+            if self.pairs.active[s]
+                && self.pairs.outstanding[s].is_none()
+                && now.saturating_sub(self.pairs.last_probe_sent[s])
+                    >= 4 * self.pairs.cur_base_rtt[s]
+            {
+                idle_candidates.push(self.pairs.id(s));
+            }
+        }
         let budget = 2usize.min(idle_candidates.len());
         for k in 0..budget {
             let idx = (self.keepalive_cursor as usize + k) % idle_candidates.len();
             let pair = idle_candidates[idx];
             let (cur, registered) = {
-                let pc = &self.pairs[&pair];
-                (pc.cur, pc.registered.is_some())
+                let s = self.pairs.slot(pair).expect("known pair");
+                (
+                    self.pairs.cold[s].cur,
+                    self.pairs.cold[s].registered.is_some(),
+                )
             };
             self.send_probe(ctx, pair, cur, !registered);
         }
         self.keepalive_cursor = self.keepalive_cursor.wrapping_add(budget as u64);
+        self.keepalive_scratch = idle_candidates;
         if need_pump {
             self.pump(ctx);
         }
@@ -1179,29 +1123,31 @@ impl UfabEdge {
     }
 
     fn deactivate_pair(&mut self, ctx: &mut EdgeCtx, pair: PairId) {
-        let Some(pc) = self.pairs.get_mut(&pair) else {
+        let Some(s) = self.pairs.slot(pair) else {
             return;
         };
-        if !pc.active {
+        if !self.pairs.active[s] {
             return;
         }
-        pc.active = false;
-        pc.outstanding = None;
-        if let Some(reg) = pc.registered.take() {
-            let old = &pc.candidates[reg.path];
-            pc.pending_finish.push(PendingFinish {
+        self.pairs.active[s] = false;
+        self.pairs.outstanding[s] = None;
+        if let Some(reg) = self.pairs.cold[s].registered.take() {
+            let c = &mut self.pairs.cold[s];
+            let old = &c.candidates[reg.path];
+            let pf = PendingFinish {
                 route: old.route.clone(),
                 n_switch_hops: old.n_switch_hops,
                 phi: reg.phi,
                 w: reg.w,
-                seq: pc.probe_seq,
-                epoch: pc.reg_epoch,
+                seq: c.probe_seq,
+                epoch: c.reg_epoch,
                 retries: 0,
                 next_retry: ctx.now,
-            });
-            pc.probe_seq += 1;
+            };
+            c.pending_finish.push(pf);
+            c.probe_seq += 1;
         }
-        let tenant = pc.tenant;
+        let tenant = self.pairs.cold[s].tenant;
         self.wfq.remove_pair(tenant, pair);
         self.flush_finish(ctx, pair);
     }
@@ -1217,15 +1163,15 @@ impl UfabEdge {
                 let ep = &self.ep;
                 let now = ctx.now;
                 wfq.pick(|pair| {
-                    let pc = pairs.get(&pair)?;
-                    if !pc.active || now < pc.data_paused_until {
+                    let s = pairs.slot(pair)?;
+                    if !pairs.active[s] || now < pairs.data_paused_until[s] {
                         return None;
                     }
                     let (payload, is_retx) = ep.peek_segment(pair)?;
                     let inflight = ep.inflight(pair);
-                    if is_retx || inflight + payload as u64 <= pc.window as u64 {
+                    if is_retx || inflight + payload as u64 <= pairs.window[s] as u64 {
                         Some(payload + DATA_OVERHEAD)
-                    } else if (inflight as f64) < pc.window && now >= pc.next_send_at {
+                    } else if (inflight as f64) < pairs.window[s] && now >= pairs.next_send_at[s] {
                         // Fractional window credit (including sub-MTU
                         // windows): a packet may start whenever inflight <
                         // window, with the overshoot paced so the average
@@ -1246,28 +1192,30 @@ impl UfabEdge {
             let Some((info, wire_size)) = self.ep.next_segment(ctx.now, pair) else {
                 break;
             };
-            let pc = self.pairs.get_mut(&pair).expect("picked pair exists");
-            if self.ep.inflight(pair) > pc.window as u64 {
+            let s = self.pairs.slot(pair).expect("picked pair exists");
+            if self.ep.inflight(pair) > self.pairs.window[s] as u64 {
                 // This send overshot the window (fractional credit): pace
                 // the next one so the average rate stays window/baseRTT.
-                let rate_bps = pc.window.max(1.0) * 8.0 / (pc.cur_path().base_rtt as f64 / 1e9);
+                let rate_bps =
+                    self.pairs.window[s].max(1.0) * 8.0 / (self.pairs.cur_base_rtt[s] as f64 / 1e9);
                 let gap = (info.payload as f64 * 8.0 / rate_bps * 1e9) as Time;
-                pc.next_send_at = ctx.now + gap;
+                self.pairs.next_send_at[s] = ctx.now + gap;
             }
+            let c = &self.pairs.cold[s];
             let pkt = Packet {
                 src: self.host,
-                dst: pc.dst_host,
+                dst: c.dst_host,
                 pair,
-                tenant: pc.tenant,
+                tenant: c.tenant,
                 size: wire_size,
                 kind: PacketKind::Data(info),
-                route: pc.cur_path().route.clone().into(),
+                route: Route::from(c.candidates[c.cur].route.as_slice()),
                 hop: 0,
                 ecn: false,
                 max_util: 0.0,
                 sent_at: ctx.now,
             };
-            pc.bytes_since_probe += info.payload as u64;
+            self.pairs.bytes_since_probe[s] += info.payload as u64;
             ctx.send(pkt);
             budget -= 1;
             self.maybe_probe(ctx, pair);
@@ -1292,7 +1240,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size: ACK_SIZE,
                     kind: PacketKind::Ack(ack),
-                    route: route.into(),
+                    route,
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1337,7 +1285,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size,
                     kind: PacketKind::Response(resp),
-                    route: route.into(),
+                    route,
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1360,7 +1308,7 @@ impl EdgeAgent for UfabEdge {
                     tenant: pkt.tenant,
                     size: pkt.size,
                     kind: PacketKind::FinishAck(echo),
-                    route: route.into(),
+                    route,
                     hop: 0,
                     ecn: false,
                     max_util: 0.0,
@@ -1368,8 +1316,9 @@ impl EdgeAgent for UfabEdge {
                 });
             }
             PacketKind::FinishAck(frame) => {
-                if let Some(pc) = self.pairs.get_mut(&pkt.pair) {
-                    pc.pending_finish
+                if let Some(s) = self.pairs.slot(pkt.pair) {
+                    self.pairs.cold[s]
+                        .pending_finish
                         .retain(|pf| !(frame.seq == pf.seq && frame.all_acked(pf.n_switch_hops)));
                 }
             }

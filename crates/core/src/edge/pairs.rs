@@ -1,0 +1,288 @@
+//! Struct-of-arrays storage for per-pair control state.
+//!
+//! The μFAB-E control tick walks every pair once per token update period
+//! and touches only a handful of scalars per pair (timeouts, probe
+//! clocks, windows). Keeping those scalars in dense parallel columns —
+//! instead of scattered across one large heap struct per pair behind a
+//! `HashMap` — turns the tick into linear scans over a few cache lines
+//! and removes a hash lookup per field group.
+//!
+//! Layout:
+//!
+//! * `index` maps `PairId` → slot. Slots are stable for the lifetime of
+//!   the agent (pairs deactivate but are never removed; a restart clears
+//!   the whole table), so a slot resolved once stays valid.
+//! * `order` keeps the slots sorted by `PairId`, maintained incrementally
+//!   on insert. Every control-loop walk iterates `order`, which preserves
+//!   the sorted-iteration determinism contract (same-seed runs are
+//!   byte-identical regardless of hash state) without the per-tick
+//!   collect + sort the `HashMap` walk needed.
+//! * hot fields live in one `Vec` per field; everything bulky or rarely
+//!   touched (candidate paths, telemetry snapshots, pending finishes)
+//!   stays in the cold [`PairCold`] row.
+
+use netsim::{NodeId, PairId, PortNo, TenantId, Time, VmId};
+use std::collections::HashMap;
+use telemetry::HopInfo;
+
+/// Telemetry snapshot for one candidate path.
+#[derive(Debug, Clone, Default)]
+pub(super) struct PathTelem {
+    pub(super) hops: Vec<HopInfo>,
+    pub(super) at: Time,
+}
+
+/// A candidate underlay path.
+#[derive(Debug, Clone)]
+pub(super) struct PathInfo {
+    pub(super) route: Vec<PortNo>,
+    pub(super) base_rtt: Time,
+    pub(super) n_switch_hops: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Registration {
+    pub(super) path: usize,
+    pub(super) phi: f64,
+    pub(super) w: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ProbeOut {
+    pub(super) seq: u64,
+    pub(super) path: usize,
+    pub(super) sent_at: Time,
+}
+
+#[derive(Debug)]
+pub(super) struct PendingFinish {
+    pub(super) route: Vec<PortNo>,
+    pub(super) n_switch_hops: usize,
+    pub(super) phi: f64,
+    pub(super) w: f64,
+    pub(super) seq: u64,
+    pub(super) epoch: u64,
+    pub(super) retries: u32,
+    pub(super) next_retry: Time,
+}
+
+/// Cold per-pair state: bulky, touched on control events (responses,
+/// migrations), not on every tick.
+#[derive(Debug)]
+pub(super) struct PairCold {
+    pub(super) tenant: TenantId,
+    pub(super) src_vm: VmId,
+    pub(super) dst_host: NodeId,
+    pub(super) candidates: Vec<PathInfo>,
+    pub(super) telem: Vec<PathTelem>,
+    pub(super) cur: usize,
+    pub(super) registered: Option<Registration>,
+    pub(super) reg_epoch: u64,
+    pub(super) probe_seq: u64,
+    pub(super) cand_probes: HashMap<u64, ProbeOut>,
+    pub(super) better_since: Option<Time>,
+    pub(super) pending_finish: Vec<PendingFinish>,
+}
+
+/// The SoA pair table. Hot fields are public columns indexed by slot;
+/// resolve a slot once with [`PairTable::slot`] and index directly.
+#[derive(Debug, Default)]
+pub(super) struct PairTable {
+    index: HashMap<PairId, u32>,
+    ids: Vec<PairId>,
+    /// Slots sorted by `PairId` (the deterministic walk order).
+    order: Vec<u32>,
+    // ---- hot columns (all Copy, one cache-dense Vec per field) ----
+    pub(super) active: Vec<bool>,
+    /// Sender-assigned token φ_s (GP).
+    pub(super) phi_s: Vec<f64>,
+    /// Receiver-admitted token φ_p (∞ until constrained).
+    pub(super) phi_r: Vec<f64>,
+    /// Admission window in payload bytes (what the scheduler enforces).
+    pub(super) window: Vec<f64>,
+    /// Claimed window from Eqn 3 (what probes register at switches).
+    pub(super) w_claim: Vec<f64>,
+    /// Two-stage bootstrap window w′ (None = steady state).
+    pub(super) boot: Vec<Option<f64>>,
+    pub(super) outstanding: Vec<Option<ProbeOut>>,
+    pub(super) bytes_since_probe: Vec<u64>,
+    pub(super) last_probe_sent: Vec<Time>,
+    pub(super) probe_losses: Vec<u32>,
+    pub(super) violations: Vec<u32>,
+    pub(super) unqualified: Vec<u32>,
+    pub(super) freeze_until: Vec<Time>,
+    pub(super) data_paused_until: Vec<Time>,
+    /// Pacing gate for sub-MTU windows: no data before this instant.
+    pub(super) next_send_at: Vec<Time>,
+    /// Smoothed probe RTT.
+    pub(super) srtt: Vec<Time>,
+    pub(super) last_alt_probe: Vec<Time>,
+    /// Cache of `candidates[cur].base_rtt` — the tick reads it for every
+    /// pair; refreshed by [`PairTable::set_cur`] on migration.
+    pub(super) cur_base_rtt: Vec<Time>,
+    pub(super) cold: Vec<PairCold>,
+}
+
+impl PairTable {
+    pub(super) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Resolve a pair to its slot.
+    #[inline]
+    pub(super) fn slot(&self, pair: PairId) -> Option<usize> {
+        self.index.get(&pair).map(|&s| s as usize)
+    }
+
+    #[inline]
+    pub(super) fn id(&self, slot: usize) -> PairId {
+        self.ids[slot]
+    }
+
+    /// The k-th slot in PairId order.
+    #[inline]
+    pub(super) fn slot_at(&self, k: usize) -> usize {
+        self.order[k] as usize
+    }
+
+    /// Slots in ascending `PairId` order (the deterministic walk).
+    pub(super) fn slots_sorted(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().map(|&s| s as usize)
+    }
+
+    /// Pair ids in ascending order, allocation-free.
+    pub(super) fn ids_sorted(&self) -> impl Iterator<Item = PairId> + '_ {
+        self.order.iter().map(|&s| self.ids[s as usize])
+    }
+
+    /// Effective (min of sender/receiver) token.
+    #[inline]
+    pub(super) fn phi_eff(&self, slot: usize) -> f64 {
+        self.phi_s[slot].min(self.phi_r[slot]).max(0.0)
+    }
+
+    #[inline]
+    pub(super) fn cur_path(&self, slot: usize) -> &PathInfo {
+        let c = &self.cold[slot];
+        &c.candidates[c.cur]
+    }
+
+    /// Switch the current candidate, keeping the baseRTT cache fresh.
+    pub(super) fn set_cur(&mut self, slot: usize, idx: usize) {
+        self.cold[slot].cur = idx;
+        self.cur_base_rtt[slot] = self.cold[slot].candidates[idx].base_rtt;
+    }
+
+    /// Insert a fresh pair (must not exist). Hot fields start at their
+    /// activation defaults; returns the new slot.
+    pub(super) fn insert(
+        &mut self,
+        pair: PairId,
+        cold: PairCold,
+        phi_s: f64,
+        window: f64,
+        boot: Option<f64>,
+        now: Time,
+    ) -> usize {
+        debug_assert!(!self.index.contains_key(&pair), "duplicate pair insert");
+        let slot = self.ids.len() as u32;
+        self.index.insert(pair, slot);
+        self.ids.push(pair);
+        let pos = self.order.partition_point(|&s| self.ids[s as usize] < pair);
+        self.order.insert(pos, slot);
+        self.cur_base_rtt.push(cold.candidates[cold.cur].base_rtt);
+        self.cold.push(cold);
+        self.active.push(true);
+        self.phi_s.push(phi_s);
+        self.phi_r.push(f64::INFINITY);
+        self.window.push(window);
+        self.w_claim.push(window);
+        self.boot.push(boot);
+        self.outstanding.push(None);
+        self.bytes_since_probe.push(0);
+        self.last_probe_sent.push(0);
+        self.probe_losses.push(0);
+        self.violations.push(0);
+        self.unqualified.push(0);
+        self.freeze_until.push(0);
+        self.data_paused_until.push(0);
+        self.next_send_at.push(0);
+        self.srtt.push(0);
+        self.last_alt_probe.push(now);
+        slot as usize
+    }
+
+    /// Wipe the table (agent restart: volatile SmartNIC state is gone).
+    pub(super) fn clear(&mut self) {
+        self.index.clear();
+        self.ids.clear();
+        self.order.clear();
+        self.active.clear();
+        self.phi_s.clear();
+        self.phi_r.clear();
+        self.window.clear();
+        self.w_claim.clear();
+        self.boot.clear();
+        self.outstanding.clear();
+        self.bytes_since_probe.clear();
+        self.last_probe_sent.clear();
+        self.probe_losses.clear();
+        self.violations.clear();
+        self.unqualified.clear();
+        self.freeze_until.clear();
+        self.data_paused_until.clear();
+        self.next_send_at.clear();
+        self.srtt.clear();
+        self.last_alt_probe.clear();
+        self.cur_base_rtt.clear();
+        self.cold.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cold(dst: u32) -> PairCold {
+        PairCold {
+            tenant: TenantId(0),
+            src_vm: VmId(0),
+            dst_host: NodeId(dst),
+            candidates: vec![PathInfo {
+                route: vec![PortNo(0)],
+                base_rtt: 1000 + dst as Time,
+                n_switch_hops: 1,
+            }],
+            telem: vec![PathTelem::default()],
+            cur: 0,
+            registered: None,
+            reg_epoch: 0,
+            probe_seq: 0,
+            cand_probes: HashMap::new(),
+            better_since: None,
+            pending_finish: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order_and_columns_aligned() {
+        let mut t = PairTable::default();
+        for raw in [5u32, 1, 9, 3] {
+            t.insert(PairId(raw), cold(raw), 1.0, 100.0, None, 42);
+        }
+        let ids: Vec<u32> = t.ids_sorted().map(|p| p.raw()).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        assert_eq!(t.len(), 4);
+        for k in 0..t.len() {
+            let s = t.slot_at(k);
+            assert_eq!(t.slot(t.id(s)), Some(s));
+            assert_eq!(t.cur_base_rtt[s], t.cur_path(s).base_rtt);
+            assert!(t.active[s]);
+            assert_eq!(t.last_alt_probe[s], 42);
+            assert!(t.phi_r[s].is_infinite());
+        }
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.slot(PairId(5)), None);
+    }
+}

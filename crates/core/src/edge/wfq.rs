@@ -31,6 +31,7 @@ pub fn weight_class(tokens: f64, levels: u8) -> f64 {
 
 #[derive(Debug)]
 struct TenantQueue {
+    id: TenantId,
     weight: f64,
     vtime: f64,
     pairs: Vec<PairId>,
@@ -38,9 +39,18 @@ struct TenantQueue {
 }
 
 /// The tenant-level weighted fair scheduler.
+///
+/// Tenant queues live in a dense slot `Vec` (stable for the scheduler's
+/// lifetime) with a side index; the per-pick virtual-time ordering sorts
+/// a reused slot scratch with direct slot access — the pick path, called
+/// once per scheduled packet *and* on every NIC-idle poll, allocates
+/// nothing and never hashes inside a comparison.
 #[derive(Debug, Default)]
 pub struct WfqScheduler {
-    tenants: HashMap<TenantId, TenantQueue>,
+    index: HashMap<TenantId, u32>,
+    slots: Vec<TenantQueue>,
+    /// Reused pick-order scratch (slot indices, sorted by (vtime, id)).
+    order: Vec<u32>,
     min_vtime: f64,
 }
 
@@ -53,25 +63,26 @@ impl WfqScheduler {
     /// Register (or re-weight) a tenant with an already-binned weight.
     pub fn set_tenant(&mut self, tenant: TenantId, weight: f64) {
         assert!(weight > 0.0);
-        let start = self.min_vtime;
-        self.tenants
-            .entry(tenant)
-            .and_modify(|t| t.weight = weight)
-            .or_insert(TenantQueue {
-                weight,
-                vtime: start,
-                pairs: Vec::new(),
-                rr: 0,
-            });
+        match self.index.get(&tenant) {
+            Some(&s) => self.slots[s as usize].weight = weight,
+            None => {
+                self.index.insert(tenant, self.slots.len() as u32);
+                self.slots.push(TenantQueue {
+                    id: tenant,
+                    weight,
+                    vtime: self.min_vtime,
+                    pairs: Vec::new(),
+                    rr: 0,
+                });
+            }
+        }
     }
 
     /// Add a pair under its tenant (idempotent). The tenant must be
     /// registered first.
     pub fn add_pair(&mut self, tenant: TenantId, pair: PairId) {
-        let t = self
-            .tenants
-            .get_mut(&tenant)
-            .expect("tenant not registered");
+        let s = *self.index.get(&tenant).expect("tenant not registered");
+        let t = &mut self.slots[s as usize];
         if !t.pairs.contains(&pair) {
             t.pairs.push(pair);
         }
@@ -79,7 +90,8 @@ impl WfqScheduler {
 
     /// Remove a pair (e.g. deactivated).
     pub fn remove_pair(&mut self, tenant: TenantId, pair: PairId) {
-        if let Some(t) = self.tenants.get_mut(&tenant) {
+        if let Some(&s) = self.index.get(&tenant) {
+            let t = &mut self.slots[s as usize];
             t.pairs.retain(|&p| p != pair);
             if t.rr >= t.pairs.len() {
                 t.rr = 0;
@@ -89,7 +101,7 @@ impl WfqScheduler {
 
     /// Number of schedulable pairs.
     pub fn n_pairs(&self) -> usize {
-        self.tenants.values().map(|t| t.pairs.len()).sum()
+        self.slots.iter().map(|t| t.pairs.len()).sum()
     }
 
     /// Pick the next pair to send from. `eligible(pair)` returns the wire
@@ -103,15 +115,29 @@ impl WfqScheduler {
         mut eligible: F,
     ) -> Option<(PairId, u32)> {
         // Tenants in ascending virtual-time order (stable by id for
-        // determinism).
-        let mut order: Vec<TenantId> = self.tenants.keys().copied().collect();
-        order.sort_by(|a, b| {
-            let va = self.tenants[a].vtime;
-            let vb = self.tenants[b].vtime;
-            va.partial_cmp(&vb).expect("NaN vtime").then(a.cmp(b))
+        // determinism). Tenants with no schedulable pairs are skipped
+        // before the sort — the inner loop would only skip them anyway.
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.pairs.is_empty())
+                .map(|(s, _)| s as u32),
+        );
+        let slots = &self.slots;
+        order.sort_by(|&a, &b| {
+            let ta = &slots[a as usize];
+            let tb = &slots[b as usize];
+            ta.vtime
+                .partial_cmp(&tb.vtime)
+                .expect("NaN vtime")
+                .then(ta.id.cmp(&tb.id))
         });
-        for tid in order {
-            let t = self.tenants.get_mut(&tid).expect("known tenant");
+        let mut picked = None;
+        'outer: for &s in &order {
+            let t = &mut self.slots[s as usize];
             let n = t.pairs.len();
             for k in 0..n {
                 let idx = (t.rr + k) % n;
@@ -120,19 +146,21 @@ impl WfqScheduler {
                     t.rr = (idx + 1) % n;
                     t.vtime += size as f64 / t.weight;
                     let floor = self
-                        .tenants
-                        .values()
+                        .slots
+                        .iter()
                         .filter(|t| !t.pairs.is_empty())
                         .map(|t| t.vtime)
                         .fold(f64::INFINITY, f64::min);
                     if floor.is_finite() {
                         self.min_vtime = floor;
                     }
-                    return Some((pair, size));
+                    picked = Some((pair, size));
+                    break 'outer;
                 }
             }
         }
-        None
+        self.order = order;
+        picked
     }
 }
 

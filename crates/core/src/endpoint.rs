@@ -379,16 +379,22 @@ impl Endpoint {
         let mut freed = 0u64;
         let mut rtt = None;
         let mut valid = false;
-        // Cumulative edge plus the selectively acked seq.
-        let mut gone: Vec<u64> = st.outstanding.range(..ack.cum).map(|(&s, _)| s).collect();
-        if ack.seq >= ack.cum && st.outstanding.contains_key(&ack.seq) {
-            gone.push(ack.seq);
+        // Cumulative edge plus the selectively acked seq, popped off the
+        // map's leading range in place (acks arrive once per data packet
+        // — a scratch Vec here would be an allocation per ack).
+        while let Some((&s, _)) = st.outstanding.range(..ack.cum).next() {
+            let o = st.outstanding.remove(&s).expect("present");
+            freed += o.payload as u64;
+            valid = true;
+            if s == ack.seq && !o.retx {
+                rtt = Some(now.saturating_sub(ack.echo_ts));
+            }
         }
-        for s in gone {
-            if let Some(o) = st.outstanding.remove(&s) {
+        if ack.seq >= ack.cum {
+            if let Some(o) = st.outstanding.remove(&ack.seq) {
                 freed += o.payload as u64;
                 valid = true;
-                if s == ack.seq && !o.retx {
+                if !o.retx {
                     rtt = Some(now.saturating_sub(ack.echo_ts));
                 }
             }

@@ -18,6 +18,10 @@
 //! * [`WedgedPairWatchdog`] — recovery liveness: a pair with pending work
 //!   must make ack-level progress within the stall bound; faults may
 //!   pause a pair, never wedge it permanently.
+//! * [`PacketArenaBalance`] — packet-recycler accounting: every box the
+//!   arena handed out is either in a port queue, travelling as an event,
+//!   or back on the free list; a mismatch means a leaked or
+//!   double-recycled packet.
 
 use crate::core_agent::UfabCore;
 use crate::edge::UfabEdge;
@@ -116,7 +120,7 @@ impl Invariant<Simulator> for EdgeAccounting {
             // their lost originals still count as inflight until the
             // timeout/ack machinery reconciles them.
             let mtu = edge.mtu() as u64;
-            for pair in edge.pair_ids() {
+            for pair in edge.pair_iter() {
                 let window = edge.window_of(pair).unwrap_or(0.0);
                 let claim = edge.claim_of(pair).unwrap_or(0.0);
                 let inflight = edge.ep.inflight(pair);
@@ -265,6 +269,45 @@ impl WedgedPairWatchdog {
             stall_ns,
             prev: HashMap::new(),
         }
+    }
+}
+
+/// Packet-arena conservation: between events, the number of boxes the
+/// arena has handed out and not yet taken back (`allocated − recycled`)
+/// must equal the number of packets actually in flight — queued at some
+/// port or travelling as an `Arrive` event. A deficit means a packet was
+/// recycled while still reachable (the recycler would then hand the same
+/// box to two packets); a surplus means a drop path leaked a box past
+/// the free list. Every fault path (switch-fail queue wipes, down-port
+/// drops, overflow) must keep this exact, so the checker runs in the
+/// chaos suite too.
+#[derive(Default)]
+pub struct PacketArenaBalance;
+
+impl Invariant<Simulator> for PacketArenaBalance {
+    fn name(&self) -> &'static str {
+        "packet-arena-balance"
+    }
+
+    fn check(&mut self, sim: &Simulator, _t: u64) -> Result<(), String> {
+        let stats = sim.arena_stats();
+        let outstanding = stats.outstanding();
+        let in_flight = sim.packets_in_flight();
+        if outstanding != in_flight {
+            return Err(format!(
+                "arena outstanding {outstanding} (allocated {} − recycled {}) \
+                 != packets in flight {in_flight} — a packet box was \
+                 {}",
+                stats.allocated,
+                stats.recycled,
+                if outstanding > in_flight {
+                    "leaked past the free list"
+                } else {
+                    "recycled while still in flight"
+                }
+            ));
+        }
+        Ok(())
     }
 }
 

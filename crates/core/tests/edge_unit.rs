@@ -4,7 +4,7 @@
 
 use metrics::recorder;
 use netsim::agent::{EdgeAgent, EdgeCtx, Effects, NicView};
-use netsim::packet::{Packet, PacketKind};
+use netsim::packet::{Packet, PacketArena, PacketKind};
 use netsim::{NodeId, MS, US};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,6 +52,7 @@ impl Harness {
 
     fn with_ctx<R>(&mut self, f: impl FnOnce(&mut UfabEdge, &mut EdgeCtx) -> R) -> (R, Effects) {
         let mut fx = Effects::new();
+        let mut arena = PacketArena::default();
         let nic = NicView {
             queue_pkts: 0,
             queue_bytes: 0,
@@ -59,7 +60,8 @@ impl Harness {
             cap_bps: 10_000_000_000,
         };
         let r = {
-            let mut ctx = EdgeCtx::standalone(self.now, self.host, nic, &mut self.rng, &mut fx);
+            let mut ctx =
+                EdgeCtx::standalone(self.now, self.host, nic, &mut self.rng, &mut fx, &mut arena);
             f(&mut self.agent, &mut ctx)
         };
         (r, fx)

@@ -9,8 +9,8 @@ use std::rc::Rc;
 use topology::Topo;
 use ufab::endpoint::AppMsg;
 use ufab::invariants::{
-    BoundedQueueWatchdog, EdgeAccounting, RegisterConservation, StaleRegistrationSweep,
-    WedgedPairWatchdog,
+    BoundedQueueWatchdog, EdgeAccounting, PacketArenaBalance, RegisterConservation,
+    StaleRegistrationSweep, WedgedPairWatchdog,
 };
 use ufab::{FabricSpec, UfabConfig, UfabCore, UfabEdge};
 use workloads::driver::{Driver, WorkloadPort};
@@ -229,6 +229,7 @@ impl Runner {
             .unwrap_or(10 * US)
             .max(1);
         suite.register(Box::new(BoundedQueueWatchdog::new(rtt, 6.0)));
+        suite.register(Box::new(PacketArenaBalance));
         self.invariants = Some(suite);
     }
 
@@ -266,6 +267,9 @@ impl Runner {
             .unwrap_or(10 * US)
             .max(1);
         suite.register(Box::new(BoundedQueueWatchdog::new(rtt, 40.0)));
+        // Arena accounting must stay exact through every fault path:
+        // switch-fail queue wipes, down-port drops, restart floods.
+        suite.register(Box::new(PacketArenaBalance));
         self.invariants = Some(suite);
     }
 

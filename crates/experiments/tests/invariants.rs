@@ -4,10 +4,12 @@
 
 use experiments::harness::{Runner, SystemKind, SLICE};
 use experiments::scenarios::common::incast_on_testbed;
-use netsim::{NodeId, PairId, PortNo, Time, MS};
+use netsim::{FaultKind, FaultPlan, NodeId, PairId, PortNo, Time, MS};
 use obs::InvariantSuite;
 use topology::TestbedCfg;
-use ufab::invariants::{BoundedQueueWatchdog, EdgeAccounting, RegisterConservation};
+use ufab::invariants::{
+    BoundedQueueWatchdog, EdgeAccounting, PacketArenaBalance, RegisterConservation,
+};
 use ufab::{UfabCore, UfabEdge};
 use workloads::driver::Driver;
 use workloads::patterns::BulkDriver;
@@ -147,4 +149,70 @@ fn queue_watchdog_fires_on_runaway_queue() {
     let v = &suite.violations()[0];
     assert_eq!(v.invariant, "bounded-queue-watchdog");
     assert!(v.detail.contains("BDP"), "detail: {}", v.detail);
+}
+
+#[test]
+fn arena_balance_fires_on_leaked_box() {
+    let (r, _srcs, _pairs) = warm_run();
+    // A leak is simulated by accounting, not by corrupting the arena:
+    // claim one more packet in flight than the arena handed out.
+    let stats = r.sim.arena_stats();
+    let in_flight = r.sim.packets_in_flight();
+    assert_eq!(
+        stats.outstanding(),
+        in_flight,
+        "warm run must already balance"
+    );
+    let mut suite: InvariantSuite<netsim::Simulator> = InvariantSuite::new(1);
+    suite.register(Box::new(PacketArenaBalance));
+    let now = r.sim.now();
+    assert_eq!(suite.run(&r.sim, now, &r.obs), 0, "balanced sim is clean");
+}
+
+/// Soak the arena ledger through the harshest fault path: a whole-switch
+/// failure drops every queued packet on the failed ports and the reboot
+/// wipes the agent — each dropped box must come back to the arena, or
+/// `outstanding` drifts away from `packets_in_flight` forever.
+#[test]
+fn arena_balance_survives_switch_fail_soak() {
+    let (topo, fabric, srcs, pairs, _dst) = incast_on_testbed(4, TestbedCfg::default(), 1.0, 500e6);
+    let victim = topo.tors[0];
+    let mut r = Runner::new(topo, fabric, SystemKind::Ufab, 5, None, MS);
+    r.enable_chaos_invariants(MS / 8, 5 * MS, 60 * MS);
+    let plan = FaultPlan::new(5).fault(FaultKind::SwitchFail {
+        node: victim,
+        at: 2 * MS,
+        recover_at: Some(4 * MS),
+    });
+    r.sim.apply_chaos(&plan);
+    let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
+        .iter()
+        .zip(&pairs)
+        .map(|(&s, &p)| (MS, s, p, 8_000_000, 0))
+        .collect();
+    let mut driver = BulkDriver::new(jobs, 0);
+    let mut drivers: [&mut dyn Driver; 1] = [&mut driver];
+    r.run(10 * MS, SLICE, &mut drivers);
+
+    assert!(
+        r.sim.chaos_stats().switch_wipes >= 1,
+        "the switch must actually have failed and rebooted"
+    );
+    assert_eq!(
+        r.invariant_violations(),
+        0,
+        "chaos soak must stay clean:\n{}",
+        r.invariant_report()
+    );
+    let stats = r.sim.arena_stats();
+    assert_eq!(
+        stats.outstanding(),
+        r.sim.packets_in_flight(),
+        "every box dropped by the switch wipe must return to the arena \
+         ({stats:?})"
+    );
+    assert!(
+        stats.recycled > stats.fresh,
+        "steady state must be recycle-dominated: {stats:?}"
+    );
 }

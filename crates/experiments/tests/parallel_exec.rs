@@ -21,10 +21,13 @@ use workloads::patterns::BulkDriver;
 static JOBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// A short traced 4-to-1 incast; returns (digest, events, rate row).
-fn incast_run(system: SystemKind, seed: u64) -> (u64, u64, [String; 3]) {
+/// `batch` toggles same-timestamp delivery batching — output must be
+/// identical either way.
+fn incast_run(system: SystemKind, seed: u64, batch: bool) -> (u64, u64, [String; 3]) {
     let (topo, fabric, srcs, pairs, _dst) = incast_on_testbed(4, TestbedCfg::default(), 1.0, 500e6);
     let mut r = Runner::new(topo, fabric, system, seed, None, MS);
     r.enable_trace(1024);
+    r.sim.set_batch_delivery(batch);
     let jobs: Vec<(Time, NodeId, PairId, u64, u32)> = srcs
         .iter()
         .zip(&pairs)
@@ -47,13 +50,17 @@ fn incast_run(system: SystemKind, seed: u64) -> (u64, u64, [String; 3]) {
 /// The full scenario-shaped pipeline at a given worker count: fan out
 /// jobs, merge in submission order, render the table like `emit` does.
 fn run_at(workers: usize) -> (Vec<u64>, Vec<u64>, String) {
+    run_at_batch(workers, true)
+}
+
+fn run_at_batch(workers: usize, batch: bool) -> (Vec<u64>, Vec<u64>, String) {
     let _guard = JOBS_LOCK.lock().unwrap();
     executor::set_jobs(workers);
     let mut jobs = Vec::new();
     for system in [SystemKind::Ufab, SystemKind::Pwc, SystemKind::EsClove] {
         for seed in [1u64, 2] {
             jobs.push(Job::new(format!("{}:{seed}", system.label()), move || {
-                incast_run(system, seed)
+                incast_run(system, seed, batch)
             }));
         }
     }
@@ -98,4 +105,20 @@ fn merge_order_is_submission_order_under_contention() {
         .collect();
     let got = run_jobs(jobs);
     assert_eq!(got, (0..16).collect::<Vec<_>>());
+}
+
+// The two delivery axes compose: a serial run with batching disabled
+// must produce the same digests, event counts and CSV bytes as a
+// 4-worker run with batching on — neither the executor's fan-out nor
+// same-timestamp coalescing may leak into any output.
+#[test]
+fn batching_and_worker_count_both_invisible() {
+    let (d_serial, e_serial, csv_serial) = run_at_batch(1, false);
+    let (d_par, e_par, csv_par) = run_at_batch(4, true);
+    assert_eq!(d_serial, d_par, "digests differ across batch/jobs axes");
+    assert_eq!(
+        e_serial, e_par,
+        "event counts differ across batch/jobs axes"
+    );
+    assert_eq!(csv_serial, csv_par, "rendered table bytes differ");
 }

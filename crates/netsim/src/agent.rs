@@ -2,7 +2,7 @@
 
 use crate::ids::{NodeId, PortNo};
 use crate::msg::Inject;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketArena};
 use crate::time::Time;
 use rand::rngs::SmallRng;
 use std::any::Any;
@@ -73,13 +73,16 @@ pub struct EdgeCtx<'a> {
     /// Deterministic per-node randomness.
     pub rng: &'a mut SmallRng,
     pub(crate) effects: &'a mut Effects,
+    /// Box recycler: `send` reuses a parked shell instead of
+    /// allocating, so the steady state is malloc-free per packet.
+    pub(crate) arena: &'a mut PacketArena,
 }
 
 impl EdgeCtx<'_> {
     /// Emit a packet. `pkt.route` must name this host's egress port at
     /// index `pkt.hop` (hosts have a single NIC: `PortNo(0)`).
     pub fn send(&mut self, pkt: Packet) {
-        self.effects.sends.push(Box::new(pkt));
+        self.effects.sends.push(self.arena.alloc(pkt));
     }
 
     /// Schedule `on_timer(kind)` at absolute time `at` (clamped to now).
@@ -101,6 +104,7 @@ impl<'a> EdgeCtx<'a> {
         nic: NicView,
         rng: &'a mut SmallRng,
         effects: &'a mut Effects,
+        arena: &'a mut PacketArena,
     ) -> Self {
         Self {
             now,
@@ -108,6 +112,7 @@ impl<'a> EdgeCtx<'a> {
             nic,
             rng,
             effects,
+            arena,
         }
     }
 }
@@ -213,6 +218,7 @@ mod tests {
     fn ctx_collects_effects() {
         let mut fx = Effects::default();
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut arena = PacketArena::default();
         let mut ctx = EdgeCtx {
             now: 100,
             node: NodeId(0),
@@ -224,6 +230,7 @@ mod tests {
             },
             rng: &mut rng,
             effects: &mut fx,
+            arena: &mut arena,
         };
         ctx.set_timer(50, 7);
         ctx.set_timer_at(20, 8); // in the past: clamped to now

@@ -153,6 +153,31 @@ impl<T> EventQueue<T> {
         self.active.pop().map(|e| (e.time, e.seq, e.item))
     }
 
+    /// Remove and return the earliest entry only if `pred(time, item)`
+    /// accepts it. The entry offered to `pred` is always the one `pop`
+    /// would return next, so callers can drain a run of consecutive
+    /// same-timestamp entries (delivery batching) without perturbing
+    /// the global `(time, seq)` order.
+    #[inline]
+    pub fn pop_if(&mut self, pred: impl FnOnce(Time, &T) -> bool) -> Option<(Time, u64, T)> {
+        self.ensure_active();
+        let head = self.active.peek()?;
+        if !pred(head.time, &head.item) {
+            return None;
+        }
+        self.active.pop().map(|e| (e.time, e.seq, e.item))
+    }
+
+    /// Visit every queued item in arbitrary order (O(len); accounting
+    /// and diagnostics only — never the hot path).
+    pub fn iter_items(&self) -> impl Iterator<Item = &T> {
+        self.active
+            .iter()
+            .map(|e| &e.item)
+            .chain(self.ring.iter().flatten().map(|e| &e.item))
+            .chain(self.far.iter().map(|e| &e.item))
+    }
+
     /// Rotate the ring (or fast-forward past empty space) until the
     /// current bucket's heap holds the globally-earliest entry.
     fn ensure_active(&mut self) {
@@ -246,6 +271,28 @@ mod tests {
         expect.sort();
         let got: Vec<(Time, u64)> = drain(&mut q).into_iter().map(|(t, s, _)| (t, s)).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pop_if_gates_on_head_and_iter_sees_all() {
+        let mut q = EventQueue::new();
+        q.push(100, 0, 10);
+        q.push(100, 1, 11);
+        q.push(200, 2, 20);
+        q.push(u64::MAX / 2, 3, 99); // far heap
+        let mut seen: Vec<u32> = q.iter_items().copied().collect();
+        seen.sort();
+        assert_eq!(seen, vec![10, 11, 20, 99]);
+        // Drain the t=100 run.
+        let mut run = Vec::new();
+        while let Some((_, _, v)) = q.pop_if(|t, _| t == 100) {
+            run.push(v);
+        }
+        assert_eq!(run, vec![10, 11]);
+        // Head is now t=200; a t=100 predicate refuses it.
+        assert!(q.pop_if(|t, _| t == 100).is_none());
+        assert_eq!(q.pop().map(|e| e.2), Some(20));
+        assert_eq!(q.iter_items().count(), 1);
     }
 
     #[test]

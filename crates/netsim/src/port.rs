@@ -59,8 +59,9 @@ pub struct Port {
     pub stats: PortStats,
 }
 
-/// Outcome of an enqueue attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Outcome of an enqueue attempt. Drop variants hand the box back so
+/// the caller can return it to the packet arena instead of freeing it.
+#[derive(Debug)]
 pub enum EnqueueResult {
     /// Queued (possibly ECN-marked); `true` if the port was idle and
     /// transmission should start.
@@ -69,9 +70,9 @@ pub enum EnqueueResult {
         start_tx: bool,
     },
     /// Dropped: buffer full.
-    DroppedOverflow,
+    DroppedOverflow(Box<Packet>),
     /// Dropped: link down.
-    DroppedDown,
+    DroppedDown(Box<Packet>),
 }
 
 impl Port {
@@ -109,11 +110,11 @@ impl Port {
     pub fn enqueue(&mut self, mut pkt: Box<Packet>) -> EnqueueResult {
         if !self.up {
             self.stats.drops_down += 1;
-            return EnqueueResult::DroppedDown;
+            return EnqueueResult::DroppedDown(pkt);
         }
         if self.q_bytes + pkt.size as u64 > self.buf_bytes {
             self.stats.drops_overflow += 1;
-            return EnqueueResult::DroppedOverflow;
+            return EnqueueResult::DroppedOverflow(pkt);
         }
         if let Some(th) = self.ecn_thresh {
             if self.q_bytes >= th {
@@ -198,7 +199,10 @@ mod tests {
             p.enqueue(pkt(1000)),
             EnqueueResult::Queued { start_tx: false }
         ));
-        assert_eq!(p.enqueue(pkt(1)), EnqueueResult::DroppedOverflow);
+        assert!(matches!(
+            p.enqueue(pkt(1)),
+            EnqueueResult::DroppedOverflow(_)
+        ));
         assert_eq!(p.stats.drops_overflow, 1);
         assert_eq!(p.q_bytes, 2500);
         assert_eq!(p.stats.max_q_bytes, 2500);
@@ -221,7 +225,7 @@ mod tests {
     fn down_port_drops() {
         let mut p = port(10_000, None);
         p.up = false;
-        assert_eq!(p.enqueue(pkt(100)), EnqueueResult::DroppedDown);
+        assert!(matches!(p.enqueue(pkt(100)), EnqueueResult::DroppedDown(_)));
         assert_eq!(p.stats.drops_down, 1);
     }
 

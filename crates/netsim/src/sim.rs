@@ -8,7 +8,7 @@ use crate::chaos::{
 use crate::equeue::EventQueue;
 use crate::ids::{NodeId, PortNo};
 use crate::msg::Inject;
-use crate::packet::{Packet, PacketKind};
+use crate::packet::{ArenaStats, Packet, PacketArena, PacketKind};
 use crate::port::EnqueueResult;
 use crate::route::Route;
 use crate::time::{tx_time, Time};
@@ -82,6 +82,19 @@ pub struct Simulator {
     // Fault-injection state: `None` until a plan is applied, so the
     // disabled engine costs one branch in the TX hot path.
     chaos: Option<Box<ChaosRuntime>>,
+    // Box recycler: every in-flight packet's allocation comes from (and
+    // returns to) this free list, so steady state is malloc-free.
+    arena: PacketArena,
+    // Scratch effect buffer reused across edge-agent callbacks (keeps
+    // the sends/timers Vec capacity instead of allocating per event).
+    fx: Effects,
+    // Scratch buffer for same-timestamp delivery batches. Boxed on
+    // purpose: the batch holds arena boxes, moved by pointer.
+    #[allow(clippy::vec_box)]
+    burst: Vec<Box<Packet>>,
+    // Batch consecutive same-timestamp arrivals at a host into one
+    // agent checkout (`false` only in tests proving digest identity).
+    batch_delivery: bool,
 }
 
 impl Simulator {
@@ -106,7 +119,43 @@ impl Simulator {
             obs: ObsHandle::disabled(),
             det: None,
             chaos: None,
+            arena: PacketArena::default(),
+            fx: Effects::default(),
+            burst: Vec::new(),
+            batch_delivery: true,
         }
+    }
+
+    /// Toggle same-timestamp delivery batching (on by default). Exposed
+    /// so tests can prove batched and one-at-a-time dispatch produce
+    /// identical digests; there is no reason to disable it otherwise.
+    pub fn set_batch_delivery(&mut self, on: bool) {
+        self.batch_delivery = on;
+    }
+
+    /// Packet-arena counters (allocated / recycled / fresh / free).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Packets currently in flight: queued at any port or travelling as
+    /// an `Arrive` event. Between events this must equal
+    /// [`Simulator::arena_stats`]`.outstanding()` — the
+    /// `PacketArenaBalance` invariant checks exactly that. O(total
+    /// queued entries); accounting only.
+    pub fn packets_in_flight(&self) -> u64 {
+        let ports: usize = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.ports.iter())
+            .map(|p| p.queue.len())
+            .sum();
+        let travelling = self
+            .queue
+            .iter_items()
+            .filter(|(_, k)| matches!(k, EvKind::Arrive(_)))
+            .count();
+        (ports + travelling) as u64
     }
 
     /// Attach a flight-recorder handle. The simulator (and, via
@@ -610,18 +659,13 @@ impl Simulator {
         while self.step_one() {}
     }
 
-    fn step_one(&mut self) -> bool {
-        let Some((time, _seq, (node, kind))) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(time >= self.now, "time went backwards");
-        self.now = time;
-        self.stats.events += 1;
+    /// Fold one popped event into the determinism digest: (kind, time,
+    /// node, payload discriminant) — enough to distinguish any
+    /// divergent schedule; seq is implied by fold order.
+    #[inline]
+    fn fold_det(&mut self, time: Time, node: NodeId, kind: &EvKind) {
         if let Some(det) = &mut self.det {
-            // Fold (kind, time, node, payload discriminant) — enough to
-            // distinguish any divergent schedule; seq is implied by fold
-            // order.
-            let (code, aux) = match &kind {
+            let (code, aux) = match kind {
                 EvKind::Arrive(p) => (1u64, ((p.pair.raw() as u64) << 32) | p.size as u64),
                 EvKind::TxDone(p) => (2, p.raw() as u64),
                 EvKind::EdgeTimer(k) => (3, *k),
@@ -635,6 +679,16 @@ impl Simulator {
             det.fold_u64(time);
             det.fold_u64(aux);
         }
+    }
+
+    fn step_one(&mut self) -> bool {
+        let Some((time, _seq, (node, kind))) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        self.stats.events += 1;
+        self.fold_det(time, node, &kind);
         match kind {
             EvKind::Arrive(pkt) => self.on_arrive(node, pkt),
             EvKind::TxDone(p) => self.on_txdone(node, p),
@@ -734,10 +788,73 @@ impl Simulator {
         match self.nodes[node.idx()].kind {
             NodeKind::Host => {
                 debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
-                self.with_edge(node, |a, ctx| a.on_packet(ctx, *pkt));
+                let mut burst = std::mem::take(&mut self.burst);
+                burst.push(pkt);
+                if self.batch_delivery {
+                    // Drain the run of consecutive same-timestamp
+                    // arrivals at this host into one agent checkout.
+                    // Only *head* entries are taken, so the global
+                    // (time, seq) pop order — and with it the digest
+                    // fold order and every seq assignment made while
+                    // handling the batch — is exactly what one-at-a-
+                    // time dispatch would produce.
+                    let now = self.now;
+                    while let Some((_, _, (_, k))) = self.queue.pop_if(|t, (n, k)| {
+                        t == now && *n == node && matches!(k, EvKind::Arrive(_))
+                    }) {
+                        self.stats.events += 1;
+                        self.fold_det(now, node, &k);
+                        let EvKind::Arrive(p) = k else { unreachable!() };
+                        burst.push(p);
+                    }
+                }
+                self.deliver_burst(node, &mut burst);
+                self.burst = burst;
             }
             NodeKind::Switch => self.forward(node, pkt),
         }
+    }
+
+    /// Deliver a batch of packets to one host's edge agent with a
+    /// single agent checkout. Effects are applied (and the NIC view
+    /// rebuilt) between packets, so each delivery observes exactly the
+    /// state it would have seen under one-at-a-time dispatch — the
+    /// batch amortises dispatch overhead without changing behaviour.
+    #[allow(clippy::vec_box)]
+    fn deliver_burst(&mut self, node: NodeId, burst: &mut Vec<Box<Packet>>) {
+        let Some(mut agent) = self.edge[node.idx()].take() else {
+            for b in burst.drain(..) {
+                self.arena.recycle(b);
+            }
+            return;
+        };
+        for boxed in burst.drain(..) {
+            let pkt = self.arena.unbox(boxed);
+            let nic = {
+                let p = &self.nodes[node.idx()].ports[0];
+                NicView {
+                    queue_pkts: p.queue.len(),
+                    queue_bytes: p.q_bytes,
+                    busy: p.busy,
+                    cap_bps: p.cap_bps,
+                }
+            };
+            let mut fx = std::mem::take(&mut self.fx);
+            {
+                let mut ctx = EdgeCtx {
+                    now: self.now,
+                    node,
+                    nic,
+                    rng: &mut self.rngs[node.idx()],
+                    effects: &mut fx,
+                    arena: &mut self.arena,
+                };
+                agent.on_packet(&mut ctx, pkt);
+            }
+            self.apply_edge_effects(node, &mut fx);
+            self.fx = fx;
+        }
+        self.edge[node.idx()] = Some(agent);
     }
 
     /// Route-and-enqueue at `node` (used for switch forwarding and host
@@ -750,6 +867,7 @@ impl Simulator {
             let n = &self.nodes[node.idx()];
             let Some(group) = n.ecmp.get(&pkt.dst) else {
                 debug_assert!(false, "no route at {node} for dst {}", pkt.dst);
+                self.arena.recycle(pkt);
                 return;
             };
             let key = match &pkt.kind {
@@ -766,36 +884,36 @@ impl Simulator {
         );
         let port = &mut self.nodes[node.idx()].ports[egress.idx()];
         let port_up = port.up;
-        if !port_up && self.bounce_probes_on_failure {
-            if let PacketKind::Probe(frame) = pkt.kind.clone() {
-                // Type-4 failure notification: convert the probe in place
-                // and deliver it back to the source out of the dead path.
-                // The notification travels the network abstractly (we
-                // charge one propagation+serialization worth of delay per
-                // hop already traversed) — switches cannot source-route
-                // backwards without per-packet path state, and the edge
-                // only needs the (pair, seq, hops-so-far) content.
-                port.stats.drops_down += 1;
-                self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
-                    node: node.raw(),
-                    port: egress.raw(),
-                    pair: pkt.pair.raw(),
-                    kind: pkt.kind.label(),
-                    bytes: pkt.size,
-                    reason: "down",
-                });
-                let src = pkt.src;
-                let delay: Time = 2_000u64.saturating_mul(frame.hops.len().max(1) as u64);
-                let notify = Box::new(Packet {
-                    dst: src,
-                    kind: PacketKind::Probe(frame).into_failure(),
-                    route: Route::new(),
-                    hop: 0,
-                    ..*pkt
-                });
-                self.push(self.now + delay, src, EvKind::Arrive(notify));
-                return;
-            }
+        if !port_up && self.bounce_probes_on_failure && matches!(pkt.kind, PacketKind::Probe(_)) {
+            // Type-4 failure notification: convert the probe in place
+            // and deliver it back to the source out of the dead path.
+            // The notification travels the network abstractly (we
+            // charge one propagation+serialization worth of delay per
+            // hop already traversed) — switches cannot source-route
+            // backwards without per-packet path state, and the edge
+            // only needs the (pair, seq, hops-so-far) content.
+            port.stats.drops_down += 1;
+            self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
+                node: node.raw(),
+                port: egress.raw(),
+                pair: pkt.pair.raw(),
+                kind: pkt.kind.label(),
+                bytes: pkt.size,
+                reason: "down",
+            });
+            let src = pkt.src;
+            let PacketKind::Probe(frame) =
+                std::mem::replace(&mut pkt.kind, PacketKind::placeholder())
+            else {
+                unreachable!()
+            };
+            let delay: Time = 2_000u64.saturating_mul(frame.hops.len().max(1) as u64);
+            pkt.kind = PacketKind::Probe(frame).into_failure();
+            pkt.dst = src;
+            pkt.route = Route::new();
+            pkt.hop = 0;
+            self.push(self.now + delay, src, EvKind::Arrive(pkt));
+            return;
         }
         let (pair, kind_label, bytes) = (pkt.pair.raw(), pkt.kind.label(), pkt.size);
         let result = port.enqueue(pkt);
@@ -815,20 +933,27 @@ impl Simulator {
                     self.start_tx(node, egress);
                 }
             }
-            EnqueueResult::DroppedOverflow | EnqueueResult::DroppedDown => {
-                let reason = if matches!(result, EnqueueResult::DroppedOverflow) {
-                    "overflow"
-                } else {
-                    "down"
-                };
+            EnqueueResult::DroppedOverflow(b) => {
                 self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
                     node: node.raw(),
                     port: egress.raw(),
                     pair,
                     kind: kind_label,
                     bytes,
-                    reason,
+                    reason: "overflow",
                 });
+                self.arena.recycle(b);
+            }
+            EnqueueResult::DroppedDown(b) => {
+                self.obs.rec(Category::Drop, self.now, || ObsEvent::Drop {
+                    node: node.raw(),
+                    port: egress.raw(),
+                    pair,
+                    kind: kind_label,
+                    bytes,
+                    reason: "down",
+                });
+                self.arena.recycle(b);
             }
         }
     }
@@ -944,6 +1069,7 @@ impl Simulator {
                 bytes: pkt.size,
                 reason,
             });
+            self.arena.recycle(pkt);
         } else {
             self.push(now + ser + prop, peer, EvKind::Arrive(pkt));
         }
@@ -978,7 +1104,9 @@ impl Simulator {
 
     /// Run an edge-agent callback with a fresh context, then apply its
     /// effects (sends become enqueues at this host's NIC; timers get
-    /// scheduled).
+    /// scheduled). The effect buffer is a reused scratch field: the
+    /// sends/timers `Vec` capacity survives across events, so the
+    /// steady state allocates nothing here.
     fn with_edge<F: FnOnce(&mut dyn EdgeAgent, &mut EdgeCtx)>(&mut self, node: NodeId, f: F) {
         let Some(mut agent) = self.edge[node.idx()].take() else {
             return;
@@ -992,7 +1120,7 @@ impl Simulator {
                 cap_bps: p.cap_bps,
             }
         };
-        let mut fx = Effects::default();
+        let mut fx = std::mem::take(&mut self.fx);
         {
             let mut ctx = EdgeCtx {
                 now: self.now,
@@ -1000,14 +1128,23 @@ impl Simulator {
                 nic,
                 rng: &mut self.rngs[node.idx()],
                 effects: &mut fx,
+                arena: &mut self.arena,
             };
             f(agent.as_mut(), &mut ctx);
         }
         self.edge[node.idx()] = Some(agent);
-        for (at, kind) in fx.timers {
+        self.apply_edge_effects(node, &mut fx);
+        self.fx = fx;
+    }
+
+    /// Drain an edge effect buffer into the simulator: timers become
+    /// events, sends go through the forward path. Draining (instead of
+    /// consuming) keeps the buffer's capacity for reuse.
+    fn apply_edge_effects(&mut self, node: NodeId, fx: &mut Effects) {
+        for (at, kind) in fx.timers.drain(..) {
             self.push(at, node, EvKind::EdgeTimer(kind));
         }
-        for pkt in fx.sends {
+        for pkt in fx.sends.drain(..) {
             debug_assert_eq!(pkt.src, node, "edge agent sent with wrong src");
             self.forward(node, pkt);
         }
